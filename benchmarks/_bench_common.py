@@ -1,0 +1,59 @@
+"""Shared configuration and helpers for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper on the synthetic
+substrate.  The workload sizes below are chosen so that the full suite
+(``pytest benchmarks/ --benchmark-only``) completes in a few minutes on a
+laptop; they can be scaled up with the ``REPRO_BENCH_SCALE`` environment
+variable (a float multiplier on the number of images/sequences).
+
+Each bench writes its paper-style rows both to stdout and to
+``benchmarks/artifacts/<name>.txt`` so the numbers can be inspected after the
+run (EXPERIMENTS.md is written from these artifacts).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable
+
+import pytest
+
+from repro.segmentation.scene import SceneConfig
+from repro.segmentation.sequence import SequenceConfig
+
+#: Directory where benches drop their textual / PPM artifacts.
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
+
+#: Global scale factor for the benchmark workloads.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Image size used by the single-frame (Cityscapes-like) benches.
+BENCH_SCENE_CONFIG = SceneConfig(height=96, width=192)
+
+#: Video configuration used by the Section III benches.
+BENCH_SEQUENCE_CONFIG = SequenceConfig(
+    n_frames=10, scene_config=SceneConfig(height=80, width=160)
+)
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale an integer workload size by ``REPRO_BENCH_SCALE``."""
+    return max(minimum, int(round(value * SCALE)))
+
+
+def write_artifact(name: str, rows: Iterable[str]) -> Path:
+    """Write benchmark output rows to ``benchmarks/artifacts/<name>.txt``."""
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / f"{name}.txt"
+    text = "\n".join(rows) + "\n"
+    path.write_text(text)
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    """Artifact directory (created on first use)."""
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    return ARTIFACT_DIR

@@ -1,0 +1,83 @@
+"""Fig. 1 — visualisation of true vs. predicted segment-wise IoU.
+
+Trains the linear meta regressor on all but one image, predicts the IoU of
+every segment of the held-out image, and writes the four Fig.-1 panels
+(ground truth, prediction, true IoU, predicted IoU) as PPM files to
+``benchmarks/artifacts/``.  The benchmark times the per-image prediction step
+(metric extraction + regression inference), i.e. the deployment-time cost of
+MetaSeg quality estimation.
+"""
+
+from __future__ import annotations
+
+from _bench_common import ARTIFACT_DIR, BENCH_SCENE_CONFIG, scaled, write_artifact
+
+from repro.core.meta_regression import MetaRegressor
+from repro.core.pipeline import MetaSegPipeline
+from repro.core.visualization import dataset_iou_maps, fig1_panels, write_ppm
+from repro.evaluation.regression import pearson_correlation, r2_score
+from repro.segmentation.datasets import CityscapesLikeDataset
+from repro.segmentation.network import SimulatedSegmentationNetwork, xception65_profile
+
+N_IMAGES = scaled(16)
+
+
+def run() -> dict:
+    """Regenerate the Fig. 1 panels and the associated quality numbers."""
+    dataset = CityscapesLikeDataset(
+        n_train=0, n_val=N_IMAGES, scene_config=BENCH_SCENE_CONFIG, random_state=3
+    )
+    network = SimulatedSegmentationNetwork(xception65_profile(), random_state=4)
+    pipeline = MetaSegPipeline(network)
+    samples = dataset.val_samples()
+    training_metrics = pipeline.extract_dataset(samples[:-1])
+    regressor = MetaRegressor(method="linear", penalty=1.0).fit(training_metrics)
+
+    held_out = samples[-1]
+    probs = network.predict_probabilities(held_out.labels, index=len(samples) - 1)
+    image_metrics = pipeline.extractor.extract_full(
+        probs, gt_labels=held_out.labels, image_id=held_out.image_id
+    )
+    predicted = regressor.predict(image_metrics.dataset)
+    true_iou = image_metrics.dataset.target_iou()
+    maps = dataset_iou_maps(image_metrics.dataset, image_metrics.prediction, predicted)
+    panels = fig1_panels(held_out.labels, image_metrics.prediction, maps["true"], maps["predicted"])
+    for name, rgb in panels.items():
+        write_ppm(ARTIFACT_DIR / f"fig1_{name}.ppm", rgb)
+    return {
+        "n_segments": len(image_metrics.dataset),
+        "r2": r2_score(true_iou, predicted),
+        "pearson": pearson_correlation(true_iou, predicted),
+    }
+
+
+def test_benchmark_fig1(benchmark):
+    """Time MetaSeg deployment (extract metrics + predict IoU) on one image."""
+    dataset = CityscapesLikeDataset(
+        n_train=0, n_val=scaled(8), scene_config=BENCH_SCENE_CONFIG, random_state=5
+    )
+    network = SimulatedSegmentationNetwork(xception65_profile(), random_state=6)
+    pipeline = MetaSegPipeline(network)
+    samples = dataset.val_samples()
+    training_metrics = pipeline.extract_dataset(samples[:-1])
+    regressor = MetaRegressor(method="linear", penalty=1.0).fit(training_metrics)
+    held_out = samples[-1]
+    probs = network.predict_probabilities(held_out.labels, index=99)
+
+    def _predict_quality():
+        metrics = pipeline.extractor.extract(probs, gt_labels=None, image_id="deploy")
+        return regressor.predict(metrics)
+
+    benchmark(_predict_quality)
+
+    info = run()
+    rows = [
+        "Fig. 1 reproduction (panels written as PPM files)",
+        f"held-out image segments: {info['n_segments']}",
+        f"IoU prediction R2:       {100 * info['r2']:.2f}%",
+        f"IoU prediction Pearson R:{info['pearson']:.3f}",
+        f"panels: {ARTIFACT_DIR}/fig1_ground_truth.ppm, fig1_prediction.ppm, "
+        "fig1_true_iou.ppm, fig1_predicted_iou.ppm",
+    ]
+    write_artifact("fig1", rows)
+    assert info["pearson"] > 0.5

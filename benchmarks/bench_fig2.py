@@ -1,0 +1,70 @@
+"""Fig. 2 — meta classification AUROC vs. number of considered frames.
+
+Regenerates both subfigures of Fig. 2: AUROC of false-positive detection as a
+function of the time-series length, for the five training-data compositions
+R / RA / RAP / RP / P, once with the l2-penalised neural network (subfigure a)
+and once with gradient boosting (subfigure b).  The benchmark times one
+gradient-boosting meta-classifier fit on time-series features; the series are
+printed and written to ``benchmarks/artifacts/fig2.txt``.
+"""
+
+from __future__ import annotations
+
+from _bench_common import write_artifact
+from _bench_timedynamic import N_FRAMES_LIST, processed_sequences, protocol_result
+
+from repro.core.meta_classification import MetaClassifier
+from repro.timedynamic.compositions import COMPOSITIONS
+from repro.timedynamic.time_series import build_time_series_dataset
+
+
+def run() -> dict:
+    """Return {method: {composition: {n_frames: (mean, std)}}} AUROC series."""
+    result = protocol_result()
+    series = {}
+    for method in ("neural_network", "gradient_boosting"):
+        series[method] = {
+            composition: result.auroc_series(composition, method)
+            for composition in COMPOSITIONS
+        }
+    return series
+
+
+def test_benchmark_fig2(benchmark):
+    """Time one time-series meta-classifier fit; print the Fig. 2 series."""
+    pipeline, sequences = processed_sequences()
+    dataset = build_time_series_dataset(sequences, n_previous=4, target="real")
+    train, _val, test = dataset.split((0.7, 0.1, 0.2), random_state=0)
+
+    def _fit_and_score():
+        classifier = MetaClassifier(
+            method="gradient_boosting", n_estimators=20, max_depth=3,
+            max_features="sqrt", random_state=0,
+        )
+        classifier.fit(train)
+        return classifier.predict_proba(test)
+
+    benchmark(_fit_and_score)
+
+    series = run()
+    rows = ["Fig. 2 reproduction — AUROC vs number of considered frames", ""]
+    panel_names = {
+        "neural_network": "(a) neural network with l2-penalization",
+        "gradient_boosting": "(b) gradient boosting",
+    }
+    for method, panel in panel_names.items():
+        rows.append(panel)
+        header = "  composition " + "".join(f"{n:>10d}" for n in N_FRAMES_LIST)
+        rows.append(header)
+        for composition, values in series[method].items():
+            rendered = "".join(f"{100 * values[n][0]:10.2f}" for n in N_FRAMES_LIST)
+            rows.append(f"  {composition:<12s}{rendered}")
+        rows.append("")
+    write_artifact("fig2", rows)
+
+    # Shape check: real ground truth (R) should not be worse than pseudo-only
+    # (P) for the best history length, for both model families.
+    for method in panel_names:
+        best_r = max(v[0] for v in series[method]["R"].values())
+        best_p = max(v[0] for v in series[method]["P"].values())
+        assert best_r >= best_p - 0.03

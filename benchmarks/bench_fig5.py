@@ -1,0 +1,104 @@
+"""Fig. 5 — empirical CDFs of segment-wise precision and recall, Bayes vs ML.
+
+Regenerates the Fig. 5 comparison for both network profiles: the empirical
+CDFs of segment-wise precision and recall of the category "human" under the
+Bayes and Maximum-Likelihood decision rules, the first-order stochastic
+dominance statements (F^p_ML ≺ F^p_B, and the reverse for recall), and the
+non-detection rates F^r(0).  An additional cost-sweep ablation interpolates
+between the two rules (prior exponent 0, 0.5, 1) to show the precision/recall
+trade-off the paper discusses for general cost-based rules.
+
+The benchmark times the per-image precision/recall collection step.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SCENE_CONFIG, scaled, write_artifact
+
+from repro.decision.evaluation import collect_precision_recall, precision_dominance, recall_dominance
+from repro.decision.pipeline import DecisionRuleComparison
+from repro.segmentation.datasets import CityscapesLikeDataset
+from repro.segmentation.network import (
+    SimulatedSegmentationNetwork,
+    mobilenetv2_profile,
+    xception65_profile,
+)
+
+N_TRAIN = scaled(24)
+N_VAL = scaled(16)
+CDF_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def run() -> dict:
+    """Return the Fig. 5 quantities for both network profiles."""
+    output = {}
+    dataset = CityscapesLikeDataset(
+        n_train=N_TRAIN, n_val=N_VAL, scene_config=BENCH_SCENE_CONFIG, random_state=60
+    )
+    for profile in (mobilenetv2_profile(), xception65_profile()):
+        network = SimulatedSegmentationNetwork(profile, random_state=61)
+        comparison = DecisionRuleComparison(network, category="human")
+        comparison.fit_priors(dataset.train_samples())
+        result = comparison.compare(dataset.val_samples(), rules=("bayes", "ml"))
+        sweep = comparison.compare(
+            dataset.val_samples()[: max(4, N_VAL // 2)],
+            rules=("bayes", "interpolated", "ml"),
+            strengths={"interpolated": 0.5},
+        )
+        output[profile.name] = {"result": result, "sweep": sweep}
+    return output
+
+
+def test_benchmark_fig5(benchmark):
+    """Time one precision/recall collection; print the Fig. 5 summary."""
+    dataset = CityscapesLikeDataset(
+        n_train=scaled(6), n_val=2, scene_config=BENCH_SCENE_CONFIG, random_state=62
+    )
+    network = SimulatedSegmentationNetwork(mobilenetv2_profile(), random_state=63)
+    sample = dataset.val_sample(0)
+    prediction = network.predict_labels(sample.labels, index=0)
+
+    benchmark(collect_precision_recall, prediction, sample.labels, "human")
+
+    output = run()
+    rows = ["Fig. 5 reproduction — segment-wise precision/recall CDFs, Bayes vs ML", ""]
+    for name, data in output.items():
+        result = data["result"]
+        bayes = result.per_rule["bayes"]
+        ml = result.per_rule["ml"]
+        rows.append(f"{name}:")
+        rows.append("  precision CDF F^p(t)        t=" + "  ".join(f"{t:>5.2f}" for t in CDF_GRID))
+        rows.append("    Bayes                      " + "  ".join(f"{bayes.precision_cdf()(t):5.2f}" for t in CDF_GRID))
+        rows.append("    ML                         " + "  ".join(f"{ml.precision_cdf()(t):5.2f}" for t in CDF_GRID))
+        rows.append("  recall CDF F^r(t)           t=" + "  ".join(f"{t:>5.2f}" for t in CDF_GRID))
+        rows.append("    Bayes                      " + "  ".join(f"{bayes.recall_cdf()(t):5.2f}" for t in CDF_GRID))
+        rows.append("    ML                         " + "  ".join(f"{ml.recall_cdf()(t):5.2f}" for t in CDF_GRID))
+        rows.append(
+            f"  F^p_ML < F^p_B (Bayes precision dominates): {precision_dominance(bayes, ml)}"
+        )
+        rows.append(
+            f"  F^r_B < F^r_ML (ML recall dominates):       {recall_dominance(bayes, ml)}"
+        )
+        rows.append(
+            f"  non-detection F^r(0):  Bayes {bayes.non_detection_rate():.3f}   "
+            f"ML {ml.non_detection_rate():.3f}"
+        )
+        sweep = data["sweep"]
+        rows.append("  cost-sweep ablation (prior exponent 0 / 0.5 / 1):")
+        for rule in ("bayes", "interpolated", "ml"):
+            stats = sweep.per_rule[rule]
+            rows.append(
+                f"    {rule:<13s} mean precision {stats.mean_precision():5.3f}   "
+                f"mean recall {stats.mean_recall():5.3f}   "
+                f"F^r(0) {stats.non_detection_rate():5.3f}"
+            )
+        rows.append("")
+    write_artifact("fig5", rows)
+
+    for name, data in output.items():
+        result = data["result"]
+        bayes = result.per_rule["bayes"]
+        ml = result.per_rule["ml"]
+        # Headline claims of Section IV.
+        assert ml.non_detection_rate() <= bayes.non_detection_rate(), name
+        assert bayes.mean_precision() >= ml.mean_precision(), name

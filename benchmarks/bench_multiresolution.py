@@ -1,0 +1,83 @@
+"""Section II extension ([18]) — nested multi-resolution inference ablation.
+
+The paper reports roughly +3 pp. for both meta tasks from (i) metrics derived
+from a nested-crop inference ensemble and (ii) using neural networks as meta
+models.  This ablation compares, on the same images:
+
+* plain single-inference metrics + linear/logistic meta models,
+* pyramid-ensemble metrics + linear/logistic meta models,
+* pyramid-ensemble metrics + shallow neural-network meta models,
+
+and reports AUROC (meta classification) and R² (meta regression) for each.
+The benchmark times one pyramid-ensemble metric extraction.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SCENE_CONFIG, scaled, write_artifact
+
+from repro.core.meta_classification import MetaClassifier
+from repro.core.meta_regression import MetaRegressor
+from repro.core.multiresolution import MultiResolutionInference
+from repro.core.pipeline import MetaSegPipeline
+from repro.segmentation.datasets import CityscapesLikeDataset
+from repro.segmentation.network import SimulatedSegmentationNetwork, mobilenetv2_profile
+
+N_IMAGES = scaled(16)
+N_RUNS = scaled(5, minimum=2)
+
+
+def _evaluate(dataset, classifier_method, regressor_method, penalty, n_runs, seed):
+    import numpy as np
+
+    aurocs, r2s = [], []
+    rng = np.random.default_rng(seed)
+    for _ in range(n_runs):
+        split_seed = int(rng.integers(0, 2**31 - 1))
+        train, test = dataset.split((0.8, 0.2), random_state=split_seed)
+        classifier = MetaClassifier(method=classifier_method, penalty=penalty, random_state=split_seed)
+        aurocs.append(classifier.evaluate(train, test).test_auroc)
+        regressor = MetaRegressor(method=regressor_method, penalty=penalty, random_state=split_seed)
+        r2s.append(regressor.evaluate(train, test).test_r2)
+    return float(np.mean(aurocs)), float(np.mean(r2s))
+
+
+def run() -> dict:
+    """Return AUROC / R² for the three configurations of the ablation."""
+    dataset = CityscapesLikeDataset(
+        n_train=0, n_val=N_IMAGES, scene_config=BENCH_SCENE_CONFIG, random_state=70
+    )
+    network = SimulatedSegmentationNetwork(mobilenetv2_profile(), random_state=71)
+    pipeline = MetaSegPipeline(network)
+    plain = pipeline.extract_dataset(dataset.val_samples())
+    pyramid = MultiResolutionInference(network, crop_fractions=(1.0, 0.8, 0.6))
+    extended = pyramid.extract_many(dataset.val_samples())
+
+    output = {}
+    output["plain + linear models"] = _evaluate(plain, "logistic", "linear", 1.0, N_RUNS, 72)
+    output["pyramid + linear models"] = _evaluate(extended, "logistic", "linear", 1.0, N_RUNS, 72)
+    output["pyramid + neural network"] = _evaluate(
+        extended, "neural_network", "neural_network", 1e-3, max(2, N_RUNS // 2), 72
+    )
+    return output
+
+
+def test_benchmark_multiresolution(benchmark):
+    """Time one pyramid-ensemble extraction; print the ablation table."""
+    dataset = CityscapesLikeDataset(
+        n_train=0, n_val=2, scene_config=BENCH_SCENE_CONFIG, random_state=73
+    )
+    network = SimulatedSegmentationNetwork(mobilenetv2_profile(), random_state=74)
+    pyramid = MultiResolutionInference(network, crop_fractions=(1.0, 0.8, 0.6))
+    sample = dataset.val_sample(0)
+
+    benchmark(pyramid.extract, sample.labels, 0, sample.image_id)
+
+    output = run()
+    rows = ["Multi-resolution (nested crop) ablation — Section II extension [18]", ""]
+    for name, (auroc_value, r2_value) in output.items():
+        rows.append(f"  {name:<28s} AUROC {100 * auroc_value:6.2f}%   R2 {100 * r2_value:6.2f}%")
+    write_artifact("multiresolution", rows)
+
+    # The ensemble metrics must not hurt the meta tasks.
+    assert output["pyramid + linear models"][0] >= output["plain + linear models"][0] - 0.03

@@ -1,0 +1,80 @@
+"""Table I — meta classification and meta regression on Cityscapes-like data.
+
+Regenerates, for both network profiles (Xception65-like and MobilenetV2-like):
+
+* meta classification ACC and AUROC for the penalised and unpenalised
+  logistic models, the entropy-only baseline and the naive random baseline;
+* meta regression σ and R² for the linear model on all metrics and for the
+  entropy-only baseline;
+
+averaged over 10 random 80/20 splits of the segment dataset, exactly like the
+paper's protocol.  The ``benchmark`` fixture times one protocol run (all model
+fits for one split); the full table is printed and written to
+``benchmarks/artifacts/table1.txt``.
+"""
+
+from __future__ import annotations
+
+from _bench_common import BENCH_SCENE_CONFIG, scaled, write_artifact
+
+from repro.core.meta_classification import MetaClassifier
+from repro.core.pipeline import MetaSegPipeline
+from repro.segmentation.datasets import CityscapesLikeDataset
+from repro.segmentation.network import (
+    SimulatedSegmentationNetwork,
+    mobilenetv2_profile,
+    xception65_profile,
+)
+
+N_IMAGES = scaled(24)
+N_RUNS = scaled(10, minimum=3)
+
+
+def run() -> dict:
+    """Regenerate Table I; returns {network name: MetaSegResult}."""
+    results = {}
+    for profile in (xception65_profile(), mobilenetv2_profile()):
+        dataset = CityscapesLikeDataset(
+            n_train=0, n_val=N_IMAGES, scene_config=BENCH_SCENE_CONFIG, random_state=0
+        )
+        network = SimulatedSegmentationNetwork(profile, random_state=1)
+        pipeline = MetaSegPipeline(network)
+        metrics = pipeline.extract_dataset(dataset.val_samples())
+        results[profile.name] = pipeline.run_table1_protocol(
+            metrics, n_runs=N_RUNS, random_state=2
+        )
+    return results
+
+
+def test_benchmark_table1(benchmark):
+    """Time one split worth of meta-model training and report the full table."""
+    dataset = CityscapesLikeDataset(
+        n_train=0, n_val=scaled(8), scene_config=BENCH_SCENE_CONFIG, random_state=10
+    )
+    network = SimulatedSegmentationNetwork(mobilenetv2_profile(), random_state=11)
+    pipeline = MetaSegPipeline(network)
+    metrics = pipeline.extract_dataset(dataset.val_samples())
+    train, test = metrics.split((0.8, 0.2), random_state=0)
+
+    def _one_split():
+        return MetaClassifier(method="logistic", penalty=1.0).evaluate(train, test)
+
+    benchmark(_one_split)
+
+    results = run()
+    rows = ["Table I reproduction (synthetic substrate)", ""]
+    for name, result in results.items():
+        rows.extend(result.summary_rows())
+        rows.append("")
+    write_artifact("table1", rows)
+
+    # The paper's orderings must hold.
+    for result in results.values():
+        assert (
+            result.classification["logistic_penalized"]["test_auroc"][0]
+            > result.classification["entropy_only"]["test_auroc"][0]
+        )
+        assert (
+            result.regression["linear_all_metrics"]["test_r2"][0]
+            > result.regression["entropy_only"]["test_r2"][0]
+        )

@@ -1,0 +1,94 @@
+"""Table II — best meta classification / regression per training composition.
+
+Regenerates the Table II structure: for every composition (R / RA / RAP / RP /
+P) and both model families (gradient boosting, l2-penalised neural network)
+the best ACC/AUROC (meta classification) and σ/R² (meta regression) over the
+number of considered frames, with the superscript indicating at which history
+length the optimum is reached.  Also prints the single-frame linear-model
+reference and the improvement of the time-dynamic approach over it (the paper
+quotes +5.04 pp. AUROC and +5.63 pp. R²).
+"""
+
+from __future__ import annotations
+
+from _bench_common import write_artifact
+from _bench_timedynamic import N_RUNS, processed_sequences, protocol_result
+
+from repro.timedynamic.compositions import COMPOSITIONS
+
+
+def run() -> dict:
+    """Return the Table II rows plus the single-frame linear reference."""
+    pipeline, sequences = processed_sequences()
+    result = protocol_result()
+    reference = pipeline.single_frame_linear_reference(sequences, n_runs=N_RUNS, random_state=30)
+    table = {}
+    for composition in COMPOSITIONS:
+        table[composition] = {}
+        for method in ("gradient_boosting", "neural_network"):
+            table[composition][method] = {
+                "classification": result.best_classification(composition, method),
+                "regression": result.best_regression(composition, method),
+            }
+    return {"table": table, "reference": reference}
+
+
+def test_benchmark_table2(benchmark):
+    """Time the single-frame linear reference; print the Table II layout."""
+    pipeline, sequences = processed_sequences()
+
+    benchmark.pedantic(
+        pipeline.single_frame_linear_reference,
+        kwargs={"sequences": sequences, "n_runs": 1, "random_state": 31},
+        rounds=1,
+        iterations=1,
+    )
+
+    output = run()
+    table = output["table"]
+    reference = output["reference"]
+    rows = ["Table II reproduction — best value over #frames (superscript = frames)", ""]
+    rows.append("Meta Classification IoU = 0, > 0")
+    rows.append(f"  {'':<5s}{'Gradient Boosting':>38s}{'Neural Network (l2)':>38s}")
+    for composition in COMPOSITIONS:
+        cells = []
+        for method in ("gradient_boosting", "neural_network"):
+            best = table[composition][method]["classification"]
+            cells.append(
+                f"ACC {100 * best['accuracy'][0]:6.2f}%  "
+                f"AUROC {100 * best['auroc'][0]:6.2f}%^{best['n_frames']}"
+            )
+        rows.append(f"  {composition:<5s}{cells[0]:>38s}{cells[1]:>38s}")
+    rows.append("")
+    rows.append("Meta Regression IoU")
+    rows.append(f"  {'':<5s}{'Gradient Boosting':>38s}{'Neural Network (l2)':>38s}")
+    for composition in COMPOSITIONS:
+        cells = []
+        for method in ("gradient_boosting", "neural_network"):
+            best = table[composition][method]["regression"]
+            cells.append(
+                f"sigma {best['sigma'][0]:5.3f}  R2 {100 * best['r2'][0]:6.2f}%^{best['n_frames']}"
+            )
+        rows.append(f"  {composition:<5s}{cells[0]:>38s}{cells[1]:>38s}")
+    rows.append("")
+    best_gb_cls = table["R"]["gradient_boosting"]["classification"]
+    best_gb_reg = table["R"]["gradient_boosting"]["regression"]
+    rows.append("Single-frame linear reference vs time-dynamic gradient boosting (R):")
+    rows.append(
+        f"  AUROC {100 * reference['auroc'][0]:6.2f}%  ->  {100 * best_gb_cls['auroc'][0]:6.2f}%  "
+        f"(delta {100 * (best_gb_cls['auroc'][0] - reference['auroc'][0]):+.2f} pp, paper: +5.04 pp)"
+    )
+    rows.append(
+        f"  R2    {100 * reference['r2'][0]:6.2f}%  ->  {100 * best_gb_reg['r2'][0]:6.2f}%  "
+        f"(delta {100 * (best_gb_reg['r2'][0] - reference['r2'][0]):+.2f} pp, paper: +5.63 pp)"
+    )
+    write_artifact("table2", rows)
+
+    # Shape checks: every composition trains successfully and real ground
+    # truth is competitive with pseudo-only training.
+    for composition in COMPOSITIONS:
+        assert table[composition]["gradient_boosting"]["classification"]["auroc"][0] > 0.6
+    assert (
+        table["R"]["gradient_boosting"]["classification"]["auroc"][0]
+        >= table["P"]["gradient_boosting"]["classification"]["auroc"][0] - 0.05
+    )

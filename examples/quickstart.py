@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: false-positive detection with MetaSeg on the synthetic substrate.
+
+This example follows Section II of the paper end to end:
+
+1. generate a small Cityscapes-like validation set,
+2. run the simulated MobilenetV2-style segmentation network,
+3. extract segment-wise metrics and IoU targets,
+4. train the meta classifier (IoU = 0 vs. > 0) and the meta regressor,
+5. print Table-I-style numbers and the comparison against the entropy-only
+   and naive baselines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CityscapesLikeDataset,
+    MetaSegPipeline,
+    SimulatedSegmentationNetwork,
+    mobilenetv2_profile,
+)
+from repro.segmentation.scene import SceneConfig
+
+
+def main() -> None:
+    # --- 1. data and network ------------------------------------------------
+    dataset = CityscapesLikeDataset(
+        n_train=0,
+        n_val=20,
+        scene_config=SceneConfig(height=96, width=192),
+        random_state=0,
+    )
+    network = SimulatedSegmentationNetwork(mobilenetv2_profile(), random_state=1)
+    pipeline = MetaSegPipeline(network)
+
+    # --- 2.+3. inference and metric extraction ------------------------------
+    print("extracting segment metrics over", dataset.n_val, "images ...")
+    metrics = pipeline.extract_dataset(dataset.val_samples())
+    print(f"  {len(metrics)} predicted segments, "
+          f"{100 * metrics.false_positive_fraction():.1f}% of them false positives (IoU = 0)")
+
+    # --- 4. the two meta tasks ----------------------------------------------
+    print("\nrunning the Table I protocol (10 random 80/20 splits) ...")
+    result = pipeline.run_table1_protocol(metrics, n_runs=10, random_state=2)
+    print("\n".join(result.summary_rows()))
+
+    # --- 5. which single metrics carry the most signal? ---------------------
+    correlations = pipeline.metric_iou_correlations(metrics)
+    strongest = sorted(correlations.items(), key=lambda kv: -abs(kv[1]))[:5]
+    print("\nstrongest single-metric correlations with segment IoU "
+          "(Section II quotes |R| up to ~0.85):")
+    for name, value in strongest:
+        print(f"  {name:<14s} R = {value:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Pixel-wise dispersion heatmaps.
+
+Section II of the paper constructs segment metrics "based on dispersion
+measures of f_z(y|x,w) (entropy, probability margin)".  This module computes
+those dispersion measures per pixel; :mod:`repro.core.metrics` aggregates them
+over segments.
+
+All heatmaps are normalised to [0, 1]:
+
+* ``entropy_heatmap`` — Shannon entropy of the pixel's class distribution,
+  divided by log(C);
+* ``probability_margin_heatmap`` — 1 minus the difference between the largest
+  and second-largest class probability (1 = maximal ambiguity);
+* ``variation_ratio_heatmap`` — 1 minus the largest class probability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import check_probability_field
+
+
+def entropy_heatmap(probs: np.ndarray) -> np.ndarray:
+    """Normalised Shannon entropy per pixel (values in [0, 1])."""
+    probs = check_probability_field(probs)
+    n_classes = probs.shape[2]
+    clipped = np.clip(probs, 1e-12, 1.0)
+    entropy = -np.sum(clipped * np.log(clipped), axis=2)
+    return entropy / np.log(n_classes)
+
+
+def variation_ratio_heatmap(probs: np.ndarray) -> np.ndarray:
+    """1 - max class probability per pixel (values in [0, 1])."""
+    probs = check_probability_field(probs)
+    return 1.0 - probs.max(axis=2)
+
+
+def probability_margin_heatmap(probs: np.ndarray) -> np.ndarray:
+    """1 - (largest minus second-largest class probability) per pixel."""
+    probs = check_probability_field(probs)
+    # Partition so the two largest probabilities sit in the last two slots.
+    top_two = np.partition(probs, probs.shape[2] - 2, axis=2)[:, :, -2:]
+    margin = top_two[:, :, 1] - top_two[:, :, 0]
+    return 1.0 - margin
+
+
+def dispersion_heatmaps(probs: np.ndarray) -> Dict[str, np.ndarray]:
+    """All dispersion heatmaps keyed by their short names (E, M, V)."""
+    probs = check_probability_field(probs)
+    return {
+        "E": entropy_heatmap(probs),
+        "M": probability_margin_heatmap(probs),
+        "V": variation_ratio_heatmap(probs),
+    }

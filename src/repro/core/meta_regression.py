@@ -1,0 +1,153 @@
+"""Meta regression: predicting the segment-wise IoU without ground truth.
+
+While meta classification yields a 0/1 decision, meta regression predicts the
+IoU value itself as a gradual quality measure ("this can also be viewed as a
+quality measure", Section II).  Table I reports the residual standard
+deviation σ and R² for linear regression on all metrics and for the
+entropy-only baseline; Section III adds gradient boosting and shallow neural
+networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dataset import MetricsDataset
+from repro.core.metrics import METRIC_GROUPS
+from repro.evaluation.regression import r2_score, residual_std
+from repro.models.gradient_boosting import GradientBoostingRegressor
+from repro.models.linear import LinearRegression
+from repro.models.neural_network import MLPRegressor
+from repro.models.scaler import StandardScaler
+from repro.utils.rng import RandomState, as_rng
+
+#: Model families supported for the meta regression task.
+REGRESSOR_METHODS = ("linear", "gradient_boosting", "neural_network")
+
+
+@dataclass
+class MetaRegressionResult:
+    """Evaluation result of a meta regressor on train and test splits."""
+
+    train_sigma: float
+    test_sigma: float
+    train_r2: float
+    test_r2: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (used by the benchmark harnesses)."""
+        return {
+            "train_sigma": self.train_sigma,
+            "test_sigma": self.test_sigma,
+            "train_r2": self.train_r2,
+            "test_r2": self.test_r2,
+        }
+
+
+class MetaRegressor:
+    """Segment-wise IoU estimator operating on metric datasets.
+
+    Parameters
+    ----------
+    method:
+        One of ``"linear"``, ``"gradient_boosting"``, ``"neural_network"``.
+    penalty:
+        l2 penalty strength (ridge weight for the linear model, weight decay
+        for the neural network).
+    feature_subset:
+        Optional list of feature names (e.g. the entropy-only baseline).
+    clip_predictions:
+        Whether to clip predicted IoU values to [0, 1].
+    random_state:
+        Seed for the stochastic models.
+    model_params:
+        Extra keyword arguments forwarded to the underlying model.
+    """
+
+    def __init__(
+        self,
+        method: str = "linear",
+        penalty: float = 0.0,
+        feature_subset: Optional[Sequence[str]] = None,
+        clip_predictions: bool = True,
+        random_state: RandomState = 0,
+        **model_params,
+    ) -> None:
+        if method not in REGRESSOR_METHODS:
+            raise ValueError(f"method must be one of {REGRESSOR_METHODS}, got {method!r}")
+        if penalty < 0:
+            raise ValueError("penalty must be non-negative")
+        self.method = method
+        self.penalty = float(penalty)
+        self.feature_subset = list(feature_subset) if feature_subset is not None else None
+        self.clip_predictions = clip_predictions
+        self.random_state = random_state
+        self.model_params = model_params
+        self.scaler_: Optional[StandardScaler] = None
+        self.model_ = None
+
+    # ------------------------------------------------------------------ ---
+    def _build_model(self):
+        rng = as_rng(self.random_state)
+        seed = int(rng.integers(0, 2**31 - 1))
+        if self.method == "linear":
+            params = {"alpha": self.penalty}
+            params.update(self.model_params)
+            return LinearRegression(**params)
+        if self.method == "gradient_boosting":
+            params = {"n_estimators": 60, "max_depth": 3, "learning_rate": 0.1,
+                      "min_samples_leaf": 5, "random_state": seed}
+            params.update(self.model_params)
+            return GradientBoostingRegressor(**params)
+        params = {"hidden_layer_sizes": (32,), "l2_penalty": self.penalty,
+                  "n_epochs": 150, "learning_rate": 1e-2, "random_state": seed}
+        params.update(self.model_params)
+        return MLPRegressor(**params)
+
+    def fit(self, dataset: MetricsDataset) -> "MetaRegressor":
+        """Fit the meta regressor on a metrics dataset with IoU targets."""
+        features = dataset.feature_matrix(self.feature_subset)
+        targets = dataset.target_iou()
+        self.scaler_ = StandardScaler().fit(features)
+        self.model_ = self._build_model()
+        self.model_.fit(self.scaler_.transform(features), targets)
+        return self
+
+    def predict(self, dataset: MetricsDataset) -> np.ndarray:
+        """Predicted IoU per segment (clipped to [0, 1] unless disabled)."""
+        if self.model_ is None:
+            raise RuntimeError("MetaRegressor is not fitted yet")
+        features = dataset.feature_matrix(self.feature_subset)
+        predictions = self.model_.predict(self.scaler_.transform(features))
+        if self.clip_predictions:
+            predictions = np.clip(predictions, 0.0, 1.0)
+        return predictions
+
+    def evaluate(self, train: MetricsDataset, test: MetricsDataset) -> MetaRegressionResult:
+        """Fit on *train* and report σ/R² on both splits (Table I protocol)."""
+        self.fit(train)
+        train_pred = self.predict(train)
+        test_pred = self.predict(test)
+        train_targets = train.target_iou()
+        test_targets = test.target_iou()
+        return MetaRegressionResult(
+            train_sigma=residual_std(train_targets, train_pred),
+            test_sigma=residual_std(test_targets, test_pred),
+            train_r2=r2_score(train_targets, train_pred),
+            test_r2=r2_score(test_targets, test_pred),
+        )
+
+
+def entropy_baseline_regressor(
+    penalty: float = 0.0, random_state: RandomState = 0
+) -> MetaRegressor:
+    """Meta regressor restricted to the mean-entropy feature (Table I baseline)."""
+    return MetaRegressor(
+        method="linear",
+        penalty=penalty,
+        feature_subset=list(METRIC_GROUPS["entropy_only"]),
+        random_state=random_state,
+    )

@@ -1,0 +1,256 @@
+"""Segment extraction and segment-wise IoU.
+
+The paper's failure-mode definitions operate on *segments*: connected
+components of the predicted class masks (set Ķ_x) and of the ground-truth
+masks (set K_x).  For a predicted segment k of class c, the segment-wise IoU
+is computed against K' = the union of all ground-truth components of class c
+that intersect k (eq. (2) of the paper):
+
+    IoU(k) = |k ∩ K'| / |k ∪ K'|.
+
+A predicted segment with IoU = 0 is a **false positive**; a ground-truth
+segment with zero intersection with predicted components of its class is a
+**false negative** ("completely overlooked").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.connected_components import connected_components, component_slices
+from repro.utils.validation import check_label_map, check_same_shape
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Bookkeeping for one segment (connected component of one class mask)."""
+
+    segment_id: int
+    class_id: int
+    size: int
+    bounding_box: Tuple[int, int, int, int]
+    """(top, left, bottom, right), bottom/right exclusive."""
+    centroid: Tuple[float, float]
+
+
+@dataclass
+class Segmentation:
+    """A label map decomposed into segments.
+
+    Attributes
+    ----------
+    labels:
+        The (H, W) label map the decomposition came from.
+    components:
+        (H, W) ``int64`` array of segment ids (0 = ignore / background).
+    segments:
+        Per-segment information indexed by segment id.
+    connectivity:
+        Neighbourhood used for the decomposition (4 or 8).
+    """
+
+    labels: np.ndarray
+    components: np.ndarray
+    segments: Dict[int, SegmentInfo] = field(default_factory=dict)
+    connectivity: int = 8
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments in the decomposition."""
+        return len(self.segments)
+
+    def segment_ids(self) -> List[int]:
+        """All segment ids in ascending order."""
+        return sorted(self.segments)
+
+    def mask(self, segment_id: int) -> np.ndarray:
+        """Boolean mask of one segment."""
+        if segment_id not in self.segments:
+            raise KeyError(f"unknown segment id {segment_id}")
+        return self.components == segment_id
+
+    def class_of(self, segment_id: int) -> int:
+        """Class id of one segment."""
+        if segment_id not in self.segments:
+            raise KeyError(f"unknown segment id {segment_id}")
+        return self.segments[segment_id].class_id
+
+    def segments_of_class(self, class_id: int) -> List[int]:
+        """Ids of all segments of the given class."""
+        return [sid for sid, info in self.segments.items() if info.class_id == class_id]
+
+
+def extract_segments(labels: np.ndarray, connectivity: int = 8, ignore_id: int = -1) -> Segmentation:
+    """Decompose a label map into connected components per class.
+
+    All classes are decomposed at once: two neighbouring pixels belong to the
+    same segment iff they carry the same class label.
+    """
+    labels = check_label_map(labels)
+    components, n_components = connected_components(
+        labels, connectivity=connectivity, background=ignore_id
+    )
+    segments: Dict[int, SegmentInfo] = {}
+    boxes = component_slices(components)
+    sizes = np.bincount(components.ravel(), minlength=n_components + 1)
+    for segment_id in range(1, n_components + 1):
+        rows_slice, cols_slice = boxes[segment_id]
+        local = components[rows_slice, cols_slice] == segment_id
+        local_rows, local_cols = np.nonzero(local)
+        centroid = (
+            float(local_rows.mean() + rows_slice.start),
+            float(local_cols.mean() + cols_slice.start),
+        )
+        sample_row = local_rows[0] + rows_slice.start
+        sample_col = local_cols[0] + cols_slice.start
+        segments[segment_id] = SegmentInfo(
+            segment_id=segment_id,
+            class_id=int(labels[sample_row, sample_col]),
+            size=int(sizes[segment_id]),
+            bounding_box=(rows_slice.start, cols_slice.start, rows_slice.stop, cols_slice.stop),
+            centroid=centroid,
+        )
+    return Segmentation(labels=labels, components=components, segments=segments, connectivity=connectivity)
+
+
+def segment_iou(
+    prediction: Segmentation,
+    ground_truth: Segmentation,
+    segment_id: int,
+    ignore_id: int = -1,
+) -> float:
+    """Segment-wise IoU of one predicted segment against the ground truth.
+
+    Following eq. (2) of the paper, the ground-truth reference K' is the union
+    of all ground-truth components that intersect the predicted segment *and*
+    carry the predicted segment's class.  Pixels without ground truth
+    (``ignore_id``) are excluded from both intersection and union.
+    """
+    ious = segment_ious(prediction, ground_truth, ignore_id=ignore_id, segment_ids=[segment_id])
+    return ious[segment_id]
+
+
+def segment_ious(
+    prediction: Segmentation,
+    ground_truth: Segmentation,
+    ignore_id: int = -1,
+    segment_ids: Optional[List[int]] = None,
+) -> Dict[int, float]:
+    """Segment-wise IoU for all (or selected) predicted segments.
+
+    Returns a dict mapping predicted segment id → IoU(k) in [0, 1].
+    """
+    check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
+    gt_labels = ground_truth.labels
+    gt_components = ground_truth.components
+    valid = gt_labels != ignore_id
+    if segment_ids is None:
+        segment_ids = prediction.segment_ids()
+    result: Dict[int, float] = {}
+    for segment_id in segment_ids:
+        info = prediction.segments[segment_id]
+        top, left, bottom, right = info.bounding_box
+        # The reference union K' can extend beyond the predicted segment's
+        # bounding box, so identify intersecting GT components first and then
+        # work on the union of both extents.
+        pred_mask_box = prediction.components[top:bottom, left:right] == segment_id
+        gt_in_box = gt_components[top:bottom, left:right]
+        intersecting = np.unique(gt_in_box[pred_mask_box])
+        intersecting = [
+            gid
+            for gid in intersecting
+            if gid != 0 and ground_truth.segments[int(gid)].class_id == info.class_id
+        ]
+        if not intersecting:
+            result[segment_id] = 0.0
+            continue
+        reference_mask = np.isin(gt_components, intersecting)
+        pred_mask = prediction.components == segment_id
+        intersection = np.sum(pred_mask & reference_mask & valid)
+        union = np.sum((pred_mask | reference_mask) & valid)
+        result[segment_id] = float(intersection / union) if union > 0 else 0.0
+    return result
+
+
+def false_positive_segments(
+    prediction: Segmentation, ground_truth: Segmentation, ignore_id: int = -1
+) -> List[int]:
+    """Ids of predicted segments with zero intersection with same-class ground truth."""
+    ious = segment_ious(prediction, ground_truth, ignore_id=ignore_id)
+    return sorted(sid for sid, value in ious.items() if value == 0.0)
+
+
+def false_negative_segments(
+    prediction: Segmentation, ground_truth: Segmentation, ignore_id: int = -1
+) -> List[int]:
+    """Ids of ground-truth segments completely overlooked by the prediction.
+
+    A ground-truth segment of class c is a false negative iff no pixel of it
+    is predicted as class c (zero intersection with the predicted class mask).
+    """
+    check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
+    pred_labels = prediction.labels
+    out: List[int] = []
+    for segment_id, info in ground_truth.segments.items():
+        if info.class_id == ignore_id:
+            continue
+        mask = ground_truth.components == segment_id
+        if not np.any(pred_labels[mask] == info.class_id):
+            out.append(segment_id)
+    return sorted(out)
+
+
+def segment_precision_recall(
+    prediction: Segmentation,
+    ground_truth: Segmentation,
+    class_ids: List[int],
+    ignore_id: int = -1,
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """Segment-wise precision and recall restricted to the given classes.
+
+    Used by the decision-rule experiments of Section IV (Fig. 5).  The
+    matching is performed at the level of the given class *set* (a category
+    such as "human" = {person, rider}), as in the paper:
+
+    * precision of a *predicted* segment k whose class is in the set is the
+      fraction of its pixels whose ground truth also lies in the set;
+    * recall of a *ground-truth* segment k' whose class is in the set is the
+      fraction of its pixels predicted as any class of the set.
+
+    Returns
+    -------
+    precision:
+        Dict predicted-segment-id → precision, for predicted segments whose
+        class is in *class_ids*.
+    recall:
+        Dict ground-truth-segment-id → recall, for ground-truth segments whose
+        class is in *class_ids*.
+    """
+    check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
+    class_set = set(int(c) for c in class_ids)
+    class_list = sorted(class_set)
+    valid = ground_truth.labels != ignore_id
+    precision: Dict[int, float] = {}
+    for segment_id, info in prediction.segments.items():
+        if info.class_id not in class_set:
+            continue
+        mask = (prediction.components == segment_id) & valid
+        denom = int(mask.sum())
+        if denom == 0:
+            continue
+        hits = int(np.sum(np.isin(ground_truth.labels[mask], class_list)))
+        precision[segment_id] = hits / denom
+    recall: Dict[int, float] = {}
+    for segment_id, info in ground_truth.segments.items():
+        if info.class_id not in class_set:
+            continue
+        mask = ground_truth.components == segment_id
+        denom = int(mask.sum())
+        if denom == 0:
+            continue
+        hits = int(np.sum(np.isin(prediction.labels[mask], class_list)))
+        recall[segment_id] = hits / denom
+    return precision, recall

@@ -1,0 +1,168 @@
+"""Visualisation of label maps and segment-wise IoU (Fig. 1 of the paper).
+
+The paper's Fig. 1 shows four panels: ground truth, predicted segments, the
+true IoU of every predicted segment and the IoU predicted by meta regression,
+with green indicating high and red indicating low IoU and white marking
+regions without ground truth.  We render the same panels as RGB arrays and
+provide a dependency-free PPM writer plus an ASCII renderer for quick
+terminal inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.dataset import MetricsDataset
+from repro.core.segments import Segmentation
+from repro.segmentation.labels import LabelSpace, cityscapes_label_space
+from repro.utils.validation import check_label_map
+
+
+def labels_to_rgb(
+    labels: np.ndarray,
+    label_space: Optional[LabelSpace] = None,
+    ignore_color: tuple = (255, 255, 255),
+) -> np.ndarray:
+    """Colourise a label map with the label space's palette (uint8 RGB)."""
+    labels = check_label_map(labels)
+    label_space = label_space or cityscapes_label_space()
+    palette = label_space.color_map()
+    rgb = np.zeros((*labels.shape, 3), dtype=np.uint8)
+    rgb[labels == -1] = ignore_color
+    for class_id, color in palette.items():
+        rgb[labels == class_id] = color
+    return rgb
+
+
+def iou_to_rgb(
+    iou_per_segment: Dict[int, float],
+    segmentation: Segmentation,
+    gt_labels: Optional[np.ndarray] = None,
+    ignore_id: int = -1,
+) -> np.ndarray:
+    """Render per-segment IoU values as a green (high) to red (low) image.
+
+    Regions without ground truth (``gt_labels == ignore_id``) are white, as in
+    Fig. 1 of the paper.
+    """
+    height, width = segmentation.components.shape
+    rgb = np.zeros((height, width, 3), dtype=np.uint8)
+    value_map = np.zeros(segmentation.n_segments + 1, dtype=np.float64)
+    for segment_id, value in iou_per_segment.items():
+        if not 0 <= segment_id <= segmentation.n_segments:
+            raise KeyError(f"segment id {segment_id} outside the segmentation")
+        value_map[segment_id] = float(np.clip(value, 0.0, 1.0))
+    values = value_map[segmentation.components]
+    rgb[..., 0] = np.round(255 * (1.0 - values)).astype(np.uint8)
+    rgb[..., 1] = np.round(255 * values).astype(np.uint8)
+    rgb[..., 2] = 0
+    if gt_labels is not None:
+        gt_labels = check_label_map(gt_labels)
+        rgb[gt_labels == ignore_id] = (255, 255, 255)
+    return rgb
+
+
+def write_ppm(path: Union[str, Path], rgb: np.ndarray) -> Path:
+    """Write an (H, W, 3) uint8 array as a binary PPM (P6) file."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError("rgb must have shape (H, W, 3)")
+    if rgb.dtype != np.uint8:
+        if rgb.max() <= 1.0:
+            rgb = (rgb * 255).astype(np.uint8)
+        else:
+            rgb = np.clip(rgb, 0, 255).astype(np.uint8)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = f"P6\n{rgb.shape[1]} {rgb.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(rgb.tobytes())
+    return path
+
+
+def read_ppm(path: Union[str, Path]) -> np.ndarray:
+    """Read back a binary PPM (P6) file written by :func:`write_ppm`."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip()
+        if magic != b"P6":
+            raise ValueError(f"not a binary PPM file: {path}")
+        dims = handle.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(handle.readline())
+        if maxval != 255:
+            raise ValueError("only 8-bit PPM files are supported")
+        data = handle.read(width * height * 3)
+    return np.frombuffer(data, dtype=np.uint8).reshape(height, width, 3)
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def render_ascii(values: np.ndarray, width: int = 80) -> str:
+    """Render a 2-D float array (e.g. a heatmap) as ASCII art.
+
+    Values are min-max normalised and mapped onto a 10-step character ramp;
+    the output is resized to at most *width* characters per row.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("values must be 2-D")
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    height = max(2, int(values.shape[0] * width / values.shape[1] / 2))
+    row_idx = np.linspace(0, values.shape[0] - 1, height).astype(int)
+    col_idx = np.linspace(0, values.shape[1] - 1, width).astype(int)
+    small = values[np.ix_(row_idx, col_idx)]
+    low, high = float(small.min()), float(small.max())
+    if high > low:
+        normalised = (small - low) / (high - low)
+    else:
+        normalised = np.zeros_like(small)
+    indices = np.clip((normalised * (len(_ASCII_RAMP) - 1)).astype(int), 0, len(_ASCII_RAMP) - 1)
+    return "\n".join("".join(_ASCII_RAMP[i] for i in row) for row in indices)
+
+
+def fig1_panels(
+    gt_labels: np.ndarray,
+    prediction: Segmentation,
+    true_iou: Dict[int, float],
+    predicted_iou: Dict[int, float],
+    label_space: Optional[LabelSpace] = None,
+) -> Dict[str, np.ndarray]:
+    """Assemble the four panels of Fig. 1 as RGB arrays.
+
+    Returns a dict with keys ``ground_truth``, ``prediction``, ``true_iou``
+    and ``predicted_iou``.
+    """
+    label_space = label_space or cityscapes_label_space()
+    return {
+        "ground_truth": labels_to_rgb(gt_labels, label_space),
+        "prediction": labels_to_rgb(prediction.labels, label_space),
+        "true_iou": iou_to_rgb(true_iou, prediction, gt_labels=gt_labels),
+        "predicted_iou": iou_to_rgb(predicted_iou, prediction, gt_labels=gt_labels),
+    }
+
+
+def dataset_iou_maps(
+    dataset: MetricsDataset,
+    prediction: Segmentation,
+    predicted_iou: np.ndarray,
+) -> Dict[str, Dict[int, float]]:
+    """Helper building the {segment id → IoU} dicts for :func:`fig1_panels`.
+
+    ``dataset`` must contain exactly the segments of ``prediction`` (i.e. be
+    the per-image dataset extracted from it) and ``predicted_iou`` must be
+    aligned with the dataset rows.
+    """
+    if len(dataset) != prediction.n_segments:
+        raise ValueError("dataset and segmentation disagree on the number of segments")
+    predicted_iou = np.asarray(predicted_iou, dtype=np.float64).ravel()
+    if predicted_iou.shape[0] != len(dataset):
+        raise ValueError("predicted_iou must be aligned with the dataset rows")
+    true_map = {int(sid): float(v) for sid, v in zip(dataset.segment_ids, dataset.target_iou())}
+    pred_map = {int(sid): float(v) for sid, v in zip(dataset.segment_ids, predicted_iou)}
+    return {"true": true_map, "predicted": pred_map}

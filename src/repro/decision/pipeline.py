@@ -1,0 +1,149 @@
+"""End-to-end Bayes-vs-Maximum-Likelihood comparison (Figs. 3-5).
+
+Protocol:
+
+1. estimate position-specific class priors on the training split of a
+   Cityscapes-like dataset (Fig. 4);
+2. run the segmentation network on the validation split and decode its
+   softmax output with both the Bayes rule and the ML rule (Fig. 3);
+3. collect segment-wise precision and recall for the chosen category
+   ("human") under each rule and compare their empirical CDFs, stochastic
+   dominance and non-detection rates (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.decision.evaluation import ClassPrecisionRecall, collect_precision_recall
+from repro.decision.priors import PixelPriorEstimator
+from repro.decision.rules import apply_rule
+from repro.evaluation.segmentation import pixel_accuracy
+from repro.segmentation.datasets import CityscapesLikeDataset, SegmentationSample
+from repro.segmentation.labels import LabelSpace, cityscapes_label_space
+from repro.segmentation.network import SimulatedSegmentationNetwork
+
+
+@dataclass
+class DecisionRuleResult:
+    """Comparison of decision rules for one network on one dataset."""
+
+    network_name: str
+    category: str
+    per_rule: Dict[str, ClassPrecisionRecall] = field(default_factory=dict)
+    pixel_accuracy: Dict[str, float] = field(default_factory=dict)
+
+    def non_detection_rates(self) -> Dict[str, float]:
+        """F^r(0) per rule: fraction of completely overlooked GT segments."""
+        return {name: stats.non_detection_rate() for name, stats in self.per_rule.items()}
+
+    def summary_rows(self) -> List[str]:
+        """Human-readable summary of the Fig. 5 quantities."""
+        rows = [f"network: {self.network_name}  category: {self.category}"]
+        for name, stats in self.per_rule.items():
+            rows.append(
+                f"  {name:<12s} mean precision {stats.mean_precision():.3f}  "
+                f"mean recall {stats.mean_recall():.3f}  "
+                f"non-detection F^r(0) {stats.non_detection_rate():.3f}  "
+                f"pixel acc {self.pixel_accuracy.get(name, float('nan')):.3f}  "
+                f"(n_pred={stats.n_predicted_segments}, n_gt={stats.n_ground_truth_segments})"
+            )
+        return rows
+
+
+class DecisionRuleComparison:
+    """Runs the Section IV experiments on a Cityscapes-like dataset."""
+
+    def __init__(
+        self,
+        network: SimulatedSegmentationNetwork,
+        label_space: Optional[LabelSpace] = None,
+        category: str = "human",
+        prior_laplace_smoothing: float = 2.0,
+        prior_spatial_sigma: float = 2.0,
+        prior_global_blend: float = 0.25,
+    ) -> None:
+        self.network = network
+        self.label_space = label_space or cityscapes_label_space()
+        self.category = category
+        self.prior_estimator = PixelPriorEstimator(
+            label_space=self.label_space,
+            laplace_smoothing=prior_laplace_smoothing,
+            spatial_sigma=prior_spatial_sigma,
+            global_blend=prior_global_blend,
+        )
+        self._priors: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ ---
+    def fit_priors(self, samples: Sequence[SegmentationSample]) -> np.ndarray:
+        """Estimate position-specific priors from training samples (Fig. 4)."""
+        self.prior_estimator.fit(sample.labels for sample in samples)
+        self._priors = self.prior_estimator.priors()
+        return self._priors
+
+    @property
+    def priors(self) -> np.ndarray:
+        """The fitted (H, W, C) prior field."""
+        if self._priors is None:
+            raise RuntimeError("call fit_priors before using the ML rule")
+        return self._priors
+
+    def category_prior_heatmap(self) -> np.ndarray:
+        """(H, W) prior heatmap of the configured category (Fig. 4)."""
+        return self.prior_estimator.category_prior(self.category)
+
+    # ------------------------------------------------------------------ ---
+    def decode(self, probs: np.ndarray, rule: str, strength: float = 1.0) -> np.ndarray:
+        """Decode a probability field with the requested decision rule."""
+        if rule == "bayes":
+            return apply_rule(probs, rule=rule)
+        return apply_rule(probs, rule=rule, priors=self.priors, strength=strength)
+
+    def compare(
+        self,
+        samples: Sequence[SegmentationSample],
+        rules: Sequence[str] = ("bayes", "ml"),
+        index_offset: int = 0,
+        strengths: Optional[Dict[str, float]] = None,
+    ) -> DecisionRuleResult:
+        """Run the comparison over evaluation samples (Fig. 5 protocol)."""
+        if not samples:
+            raise ValueError("at least one evaluation sample is required")
+        strengths = strengths or {}
+        result = DecisionRuleResult(
+            network_name=self.network.profile.name, category=self.category
+        )
+        for rule in rules:
+            result.per_rule[rule] = ClassPrecisionRecall(rule_name=rule)
+            result.pixel_accuracy[rule] = 0.0
+        accuracy_sums = {rule: 0.0 for rule in rules}
+        for position, sample in enumerate(samples):
+            probs = self.network.predict_probabilities(
+                sample.labels, index=index_offset + position
+            )
+            for rule in rules:
+                decoded = self.decode(probs, rule, strength=strengths.get(rule, 1.0))
+                precision, recall = collect_precision_recall(
+                    decoded,
+                    sample.labels,
+                    category=self.category,
+                    label_space=self.label_space,
+                )
+                result.per_rule[rule].extend(precision, recall)
+                accuracy_sums[rule] += pixel_accuracy(sample.labels, decoded)
+        for rule in rules:
+            result.pixel_accuracy[rule] = accuracy_sums[rule] / len(samples)
+        return result
+
+    # ------------------------------------------------------------------ ---
+    def run_on_dataset(
+        self,
+        dataset: CityscapesLikeDataset,
+        rules: Sequence[str] = ("bayes", "ml"),
+    ) -> DecisionRuleResult:
+        """Convenience wrapper: fit priors on train split, compare on val split."""
+        self.fit_priors(dataset.train_samples())
+        return self.compare(dataset.val_samples(), rules=rules)

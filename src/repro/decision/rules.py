@@ -1,0 +1,161 @@
+"""Decision rules on top of the softmax output (eqs. (1), (4)-(9)).
+
+A decision rule maps the per-pixel class distribution f_z(y|x) to a predicted
+class.  The paper discusses three families:
+
+* **Bayes / MAP** (eq. (1)): argmax of the posterior — the standard rule,
+  equivalent to a cost function that penalises every confusion equally;
+* **cost-based rules** (eqs. (4)-(6)): minimise the expected confusion cost
+  Σ_y ψ_z(ŷ, y) f_z(y|x);
+* **Maximum Likelihood** (eqs. (7)-(9)): the special cost ψ_z(ŷ, y) = 1/p̂_z(y)
+  which, via Bayes' theorem, amounts to dividing the posterior by the
+  position-specific prior and therefore picks the class for which the
+  observation is most *typical*, independent of class frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_probability_field
+
+#: Type alias: a decision rule maps an (H, W, C) probability field to an
+#: (H, W) label map.
+DecisionRule = Callable[[np.ndarray], np.ndarray]
+
+
+def bayes_rule(probs: np.ndarray) -> np.ndarray:
+    """Maximum a-posteriori (MAP) decision: argmax_y f_z(y|x)."""
+    probs = check_probability_field(probs)
+    return np.argmax(probs, axis=2).astype(np.int64)
+
+
+def maximum_likelihood_rule(probs: np.ndarray, priors: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
+    """Maximum-Likelihood decision: argmax_y f_z(y|x) / p̂_z(y).
+
+    Parameters
+    ----------
+    probs:
+        (H, W, C) posterior (softmax) field.
+    priors:
+        Either an (H, W, C) position-specific prior field (the paper's
+        position-wise application) or a length-C vector of global priors.
+    epsilon:
+        Numerical floor for the priors.
+    """
+    probs = check_probability_field(probs)
+    priors = np.asarray(priors, dtype=np.float64)
+    if priors.ndim == 1:
+        if priors.shape[0] != probs.shape[2]:
+            raise ValueError("global priors must have one entry per class")
+        priors = priors.reshape(1, 1, -1)
+    elif priors.shape != probs.shape:
+        raise ValueError(
+            f"priors shape {priors.shape} does not match probabilities {probs.shape}"
+        )
+    if np.any(priors < 0):
+        raise ValueError("priors must be non-negative")
+    likelihood = probs / np.maximum(priors, epsilon)
+    return np.argmax(likelihood, axis=2).astype(np.int64)
+
+
+def inverse_prior_costs(priors: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
+    """Cost tensor ψ_z(ŷ, y) = 1/p̂_z(y) of the ML rule (eq. (7)).
+
+    Returns an array with one cost per (pixel, true class); the cost is
+    independent of the predicted class ŷ (for ŷ ≠ y), as in the paper.
+    """
+    priors = np.asarray(priors, dtype=np.float64)
+    if np.any(priors < 0):
+        raise ValueError("priors must be non-negative")
+    return 1.0 / np.maximum(priors, epsilon)
+
+
+def cost_based_rule(probs: np.ndarray, confusion_costs: np.ndarray) -> np.ndarray:
+    """General cost-based decision (eqs. (5)-(6)).
+
+    Parameters
+    ----------
+    probs:
+        (H, W, C) posterior field.
+    confusion_costs:
+        Either a (C, C) matrix ψ(ŷ, y) of confusion costs (position
+        independent) or an (H, W, C, C) tensor for position-specific costs.
+        The diagonal (correct decisions) is ignored — it is forced to zero as
+        in eq. (4).
+
+    Returns
+    -------
+    (H, W) label map minimising the expected cost per pixel.
+    """
+    probs = check_probability_field(probs)
+    height, width, n_classes = probs.shape
+    costs = np.asarray(confusion_costs, dtype=np.float64)
+    if costs.ndim == 2:
+        if costs.shape != (n_classes, n_classes):
+            raise ValueError("confusion_costs matrix must be (C, C)")
+        costs = np.broadcast_to(costs, (height, width, n_classes, n_classes))
+    elif costs.shape != (height, width, n_classes, n_classes):
+        raise ValueError("confusion_costs tensor must be (H, W, C, C)")
+    if np.any(costs < 0):
+        raise ValueError("confusion costs must be non-negative")
+    # Zero out the diagonal ψ(y, y) = 0.
+    eye = np.eye(n_classes, dtype=bool)
+    costs = np.where(eye.reshape(1, 1, n_classes, n_classes), 0.0, costs)
+    # expected_cost[.., yhat] = sum_y psi(yhat, y) * p(y)
+    expected_cost = np.einsum("hwij,hwj->hwi", costs, probs)
+    return np.argmin(expected_cost, axis=2).astype(np.int64)
+
+
+def interpolated_rule(
+    probs: np.ndarray,
+    priors: np.ndarray,
+    strength: float,
+    epsilon: float = 1e-12,
+) -> np.ndarray:
+    """Decision rule interpolating between Bayes (strength 0) and ML (strength 1).
+
+    The posterior is divided by ``priors ** strength``; intermediate strengths
+    correspond to milder cost asymmetries, which is the knob explored by the
+    cost-sweep ablation of the Fig. 5 benchmark.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError("strength must be in [0, 1]")
+    probs = check_probability_field(probs)
+    priors = np.asarray(priors, dtype=np.float64)
+    if priors.ndim == 1:
+        priors = priors.reshape(1, 1, -1)
+    scaled = probs / np.maximum(priors, epsilon) ** strength
+    return np.argmax(scaled, axis=2).astype(np.int64)
+
+
+def apply_rule(
+    probs: np.ndarray,
+    rule: str = "bayes",
+    priors: Optional[np.ndarray] = None,
+    strength: float = 1.0,
+) -> np.ndarray:
+    """Convenience dispatcher used by the pipelines and benchmarks.
+
+    Parameters
+    ----------
+    rule:
+        ``"bayes"``, ``"ml"`` (maximum likelihood) or ``"interpolated"``.
+    priors:
+        Required for the ML and interpolated rules.
+    strength:
+        Interpolation strength for ``"interpolated"``.
+    """
+    if rule == "bayes":
+        return bayes_rule(probs)
+    if rule == "ml":
+        if priors is None:
+            raise ValueError("the ML rule requires priors")
+        return maximum_likelihood_rule(probs, priors)
+    if rule == "interpolated":
+        if priors is None:
+            raise ValueError("the interpolated rule requires priors")
+        return interpolated_rule(probs, priors, strength)
+    raise ValueError(f"unknown decision rule {rule!r}")

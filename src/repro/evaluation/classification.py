@@ -1,0 +1,130 @@
+"""Binary classification metrics: accuracy, ROC curve, AUROC.
+
+Table I and Table II of the paper report meta classification performance as
+accuracy (ACC) and area under the ROC curve (AUROC), both in percent.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_binary_labels
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct binary predictions."""
+    y_true = check_binary_labels(y_true, "y_true")
+    y_pred = check_binary_labels(y_pred, "y_pred")
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError("y_true and y_pred must have the same length")
+    if y_true.shape[0] == 0:
+        raise ValueError("cannot compute accuracy of empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix ``[[TN, FP], [FN, TP]]``."""
+    y_true = check_binary_labels(y_true, "y_true")
+    y_pred = check_binary_labels(y_pred, "y_pred")
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError("y_true and y_pred must have the same length")
+    matrix = np.zeros((2, 2), dtype=np.int64)
+    for true_value in (0, 1):
+        for pred_value in (0, 1):
+            matrix[true_value, pred_value] = int(
+                np.sum((y_true == true_value) & (y_pred == pred_value))
+            )
+    return matrix
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the ROC curve.
+
+    Returns
+    -------
+    false_positive_rate, true_positive_rate, thresholds:
+        Arrays of equal length; thresholds are the distinct score values in
+        decreasing order, preceded by ``+inf`` (the all-negative operating
+        point).
+    """
+    y_true = check_binary_labels(y_true, "y_true")
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape[0] != scores.shape[0]:
+        raise ValueError("y_true and scores must have the same length")
+    if y_true.shape[0] == 0:
+        raise ValueError("cannot compute a ROC curve of empty arrays")
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_true = y_true[order]
+    # Indices where the threshold changes (keep only distinct score values).
+    distinct = np.nonzero(np.diff(sorted_scores))[0]
+    threshold_idx = np.concatenate([distinct, [y_true.shape[0] - 1]])
+    tps = np.cumsum(sorted_true)[threshold_idx].astype(np.float64)
+    fps = (threshold_idx + 1 - tps).astype(np.float64)
+    n_positive = float(y_true.sum())
+    n_negative = float(y_true.shape[0] - n_positive)
+    tpr = tps / n_positive if n_positive > 0 else np.zeros_like(tps)
+    fpr = fps / n_negative if n_negative > 0 else np.zeros_like(fps)
+    thresholds = np.concatenate([[np.inf], sorted_scores[threshold_idx]])
+    return (
+        np.concatenate([[0.0], fpr]),
+        np.concatenate([[0.0], tpr]),
+        thresholds,
+    )
+
+
+def auroc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve.
+
+    Computed via the Mann-Whitney U statistic (probability that a randomly
+    chosen positive sample receives a higher score than a randomly chosen
+    negative one, ties counted as 1/2), which equals the trapezoidal area
+    under the ROC curve.
+    """
+    y_true = check_binary_labels(y_true, "y_true")
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape[0] != scores.shape[0]:
+        raise ValueError("y_true and scores must have the same length")
+    n_positive = int(y_true.sum())
+    n_negative = int(y_true.shape[0] - n_positive)
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("AUROC requires both positive and negative samples")
+    # Midranks handle ties exactly.
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty_like(scores)
+    sorted_scores = scores[order]
+    rank_values = np.arange(1, scores.shape[0] + 1, dtype=np.float64)
+    # Average ranks of tied groups.
+    unique, inverse, counts = np.unique(sorted_scores, return_inverse=True, return_counts=True)
+    cumulative = np.cumsum(counts)
+    start = cumulative - counts
+    average_rank = (start + cumulative + 1) / 2.0
+    ranks[order] = average_rank[inverse]
+    del rank_values
+    rank_sum_positive = float(ranks[y_true == 1].sum())
+    u_statistic = rank_sum_positive - n_positive * (n_positive + 1) / 2.0
+    return float(u_statistic / (n_positive * n_negative))
+
+
+def optimal_accuracy_threshold(y_true: np.ndarray, scores: np.ndarray) -> Tuple[float, float]:
+    """Threshold on *scores* maximising accuracy, and that best accuracy.
+
+    The naive baseline of Table I thresholds a random score; the learned meta
+    classifiers threshold a predicted probability.  This helper scans all
+    candidate thresholds (the distinct scores plus ±inf end points).
+    """
+    y_true = check_binary_labels(y_true, "y_true")
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape[0] != scores.shape[0]:
+        raise ValueError("y_true and scores must have the same length")
+    candidates = np.concatenate([[-np.inf], np.unique(scores), [np.inf]])
+    best_threshold, best_accuracy = -np.inf, -1.0
+    for threshold in candidates:
+        pred = (scores >= threshold).astype(np.int64)
+        acc = float(np.mean(pred == y_true))
+        if acc > best_accuracy:
+            best_accuracy = acc
+            best_threshold = float(threshold)
+    return best_threshold, best_accuracy

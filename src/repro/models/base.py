@@ -1,0 +1,53 @@
+"""Common estimator conventions for the from-scratch models.
+
+All models follow the familiar fit/predict pattern:
+
+* ``fit(X, y)`` returns ``self``;
+* classifiers additionally provide ``predict_proba`` returning the positive
+  class probability (all meta classification tasks in the paper are binary);
+* fitted attributes carry a trailing underscore.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict is called before fit."""
+
+
+def check_is_fitted(estimator: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` if *estimator* lacks the fitted attribute."""
+    if not hasattr(estimator, attribute) or getattr(estimator, attribute) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() first"
+        )
+
+
+class RegressorMixin:
+    """Mixin providing an R² ``score`` for regressors."""
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination R² of the prediction."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        pred = np.asarray(self.predict(x), dtype=np.float64).ravel()
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+class ClassifierMixin:
+    """Mixin providing accuracy ``score`` for binary classifiers."""
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy of ``predict`` on the given data."""
+        y = np.asarray(y).ravel()
+        pred = np.asarray(self.predict(x)).ravel()
+        if y.shape[0] == 0:
+            raise ValueError("cannot score on an empty dataset")
+        return float(np.mean(pred == y))

@@ -1,0 +1,80 @@
+"""Ordinary least squares and ridge linear regression.
+
+The meta regression task of Section II ("we perform meta tasks by training
+linear models, i.e., a linear regression model for meta regression") is served
+by this estimator; the ridge penalty implements the "penalized" variant of
+Table I for the regression task.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import RegressorMixin, check_is_fitted
+from repro.utils.validation import check_feature_matrix, check_vector
+
+
+class LinearRegression(RegressorMixin):
+    """Linear least-squares regression with optional l2 (ridge) penalty.
+
+    Parameters
+    ----------
+    alpha:
+        l2 penalty strength; ``0`` gives ordinary least squares.  The
+        intercept is never penalised.
+    fit_intercept:
+        Whether to fit an intercept term.
+    clip_range:
+        Optional (low, high) range to which predictions are clipped.  MetaSeg
+        clips predicted IoU values to [0, 1], cf. Fig. 1 of the paper.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.0,
+        fit_intercept: bool = True,
+        clip_range: Optional[tuple] = None,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = float(alpha)
+        self.fit_intercept = fit_intercept
+        self.clip_range = clip_range
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        """Fit the model by solving the (regularised) normal equations."""
+        x = check_feature_matrix(x)
+        y = check_vector(y, n=x.shape[0])
+        if self.fit_intercept:
+            design = np.hstack([np.ones((x.shape[0], 1)), x])
+        else:
+            design = x
+        n_features = design.shape[1]
+        penalty = self.alpha * np.eye(n_features)
+        if self.fit_intercept:
+            penalty[0, 0] = 0.0
+        gram = design.T @ design + penalty
+        moment = design.T @ y
+        solution, *_ = np.linalg.lstsq(gram, moment, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict target values for the given feature matrix."""
+        check_is_fitted(self, "coef_")
+        x = check_feature_matrix(x, allow_empty=True)
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ValueError(f"expected {self.coef_.shape[0]} features, got {x.shape[1]}")
+        pred = x @ self.coef_ + self.intercept_
+        if self.clip_range is not None:
+            pred = np.clip(pred, self.clip_range[0], self.clip_range[1])
+        return pred

@@ -1,0 +1,54 @@
+"""Feature standardisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import check_is_fitted
+from repro.utils.validation import check_feature_matrix
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but not scaled, so the
+    transform never divides by zero.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        x = check_feature_matrix(x)
+        self.mean_ = x.mean(axis=0) if self.with_mean else np.zeros(x.shape[1])
+        if self.with_std:
+            std = x.std(axis=0)
+            std[std == 0.0] = 1.0
+            self.scale_ = std
+        else:
+            self.scale_ = np.ones(x.shape[1])
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation."""
+        check_is_fitted(self, "mean_")
+        x = check_feature_matrix(x, allow_empty=True)
+        if x.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {x.shape[1]}"
+            )
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        """Fit to the data and return the standardised data."""
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        """Map standardised data back to the original feature scale."""
+        check_is_fitted(self, "mean_")
+        x = check_feature_matrix(x, allow_empty=True)
+        return x * self.scale_ + self.mean_

@@ -1,0 +1,72 @@
+"""Data splitting helpers for the meta tasks.
+
+The paper splits the structured dataset of segment metrics into meta training
+and meta test sets (80 %/20 % for Section II; 70 %/10 %/20 % for Section III)
+and averages all reported numbers over 10 random resamplings of that split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, as_rng, split_indices
+from repro.utils.validation import check_fractions
+
+
+def train_test_split(
+    *arrays: np.ndarray,
+    test_fraction: float = 0.2,
+    random_state: RandomState = None,
+) -> List[np.ndarray]:
+    """Randomly split arrays into train/test parts along their first axis.
+
+    Returns ``[a_train, a_test, b_train, b_test, ...]`` in the familiar order.
+    """
+    if not arrays:
+        raise ValueError("at least one array is required")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    n = len(arrays[0])
+    for arr in arrays:
+        if len(arr) != n:
+            raise ValueError("all arrays must have the same length")
+    train_idx, test_idx = split_indices(n, [1.0 - test_fraction, test_fraction], random_state)
+    out: List[np.ndarray] = []
+    for arr in arrays:
+        arr = np.asarray(arr)
+        out.extend([arr[train_idx], arr[test_idx]])
+    return out
+
+
+def train_val_test_split(
+    n: int,
+    fractions: Sequence[float] = (0.7, 0.1, 0.2),
+    random_state: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return index arrays for a three-way split (Section III uses 70/10/20)."""
+    fractions = check_fractions(fractions)
+    if len(fractions) != 3:
+        raise ValueError("exactly three fractions are required")
+    train_idx, val_idx, test_idx = split_indices(n, fractions, random_state)
+    return train_idx, val_idx, test_idx
+
+
+def k_fold_indices(
+    n: int, n_folds: int = 5, random_state: RandomState = None
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Return (train_indices, test_indices) pairs for k-fold cross-validation."""
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    if n < n_folds:
+        raise ValueError("need at least as many samples as folds")
+    rng = as_rng(random_state)
+    perm = rng.permutation(n)
+    folds = np.array_split(perm, n_folds)
+    out: List[Tuple[np.ndarray, np.ndarray]] = []
+    for i in range(n_folds):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        out.append((train_idx, test_idx))
+    return out

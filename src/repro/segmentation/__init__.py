@@ -1,0 +1,61 @@
+"""Simulated semantic-segmentation substrate.
+
+The paper evaluates on Cityscapes (single frames) and KITTI (video) with two
+DeepLabv3+ networks.  Neither the datasets nor a deep-learning framework are
+available offline, so this subpackage provides the synthetic stand-ins
+described in ``DESIGN.md``:
+
+* :mod:`repro.segmentation.labels` — a Cityscapes-like 19-class label space;
+* :mod:`repro.segmentation.scene` — a procedural street-scene ground-truth
+  generator with class imbalance and position-dependent priors;
+* :mod:`repro.segmentation.sequence` — animated scenes → video sequences;
+* :mod:`repro.segmentation.network` — a stochastic degradation model that
+  turns ground truth into a per-pixel softmax field, mimicking the error and
+  uncertainty structure of a real segmentation network;
+* :mod:`repro.segmentation.datasets` — dataset wrappers with train/val splits.
+
+MetaSeg itself (``repro.core``) never inspects RGB data; it consumes only the
+softmax field and the ground truth, so these stand-ins exercise exactly the
+same code paths as the paper's setup.
+"""
+
+from repro.segmentation.labels import (
+    LabelSpec,
+    LabelSpace,
+    cityscapes_label_space,
+    HUMAN_CATEGORY,
+)
+from repro.segmentation.scene import Scene, SceneConfig, SceneObject, StreetSceneGenerator
+from repro.segmentation.sequence import SequenceConfig, SequenceGenerator, SceneSequence
+from repro.segmentation.network import (
+    NetworkProfile,
+    SimulatedSegmentationNetwork,
+    xception65_profile,
+    mobilenetv2_profile,
+)
+from repro.segmentation.datasets import (
+    CityscapesLikeDataset,
+    KittiLikeDataset,
+    SegmentationSample,
+)
+
+__all__ = [
+    "LabelSpec",
+    "LabelSpace",
+    "cityscapes_label_space",
+    "HUMAN_CATEGORY",
+    "Scene",
+    "SceneConfig",
+    "SceneObject",
+    "StreetSceneGenerator",
+    "SequenceConfig",
+    "SequenceGenerator",
+    "SceneSequence",
+    "NetworkProfile",
+    "SimulatedSegmentationNetwork",
+    "xception65_profile",
+    "mobilenetv2_profile",
+    "CityscapesLikeDataset",
+    "KittiLikeDataset",
+    "SegmentationSample",
+]

@@ -1,0 +1,226 @@
+"""Dataset wrappers around the synthetic scene and sequence generators.
+
+Two wrappers mirror the datasets used in the paper:
+
+* :class:`CityscapesLikeDataset` — independent single frames with full ground
+  truth, split into *train* and *val* the way the paper uses the Cityscapes
+  validation set for the MetaSeg experiments of Section II and the
+  decision-rule experiments of Section IV.
+* :class:`KittiLikeDataset` — video sequences in which only a sparse subset
+  of frames exposes ground truth (the paper has 29 sequences with 142 labelled
+  frames out of ~12k).  This sparsity is what motivates the SMOTE and
+  pseudo-ground-truth training compositions of Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.segmentation.labels import LabelSpace, cityscapes_label_space
+from repro.segmentation.scene import Scene, SceneConfig, StreetSceneGenerator
+from repro.segmentation.sequence import SceneSequence, SequenceConfig, SequenceGenerator
+from repro.utils.rng import RandomState, as_rng
+
+
+@dataclass
+class SegmentationSample:
+    """One image with ground truth and bookkeeping metadata."""
+
+    image_id: str
+    labels: np.ndarray
+    scene: Optional[Scene] = None
+    sequence_id: Optional[int] = None
+    frame_index: Optional[int] = None
+    has_ground_truth: bool = True
+
+    @property
+    def shape(self) -> tuple:
+        """Spatial shape (H, W) of the sample."""
+        return self.labels.shape
+
+
+@dataclass
+class CityscapesLikeDataset:
+    """Synthetic single-frame dataset with a train/val split.
+
+    Parameters
+    ----------
+    n_train, n_val:
+        Number of generated scenes in each split.
+    scene_config:
+        Layout configuration forwarded to the scene generator.
+    random_state:
+        Master seed; the train and val splits use disjoint derived seeds.
+    """
+
+    n_train: int = 30
+    n_val: int = 20
+    scene_config: SceneConfig = field(default_factory=SceneConfig)
+    label_space: LabelSpace = field(default_factory=cityscapes_label_space)
+    random_state: RandomState = 0
+
+    def __post_init__(self) -> None:
+        if self.n_train < 0 or self.n_val < 0:
+            raise ValueError("split sizes must be non-negative")
+        rng = as_rng(self.random_state)
+        self._train_generator = StreetSceneGenerator(
+            config=self.scene_config,
+            label_space=self.label_space,
+            random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        self._val_generator = StreetSceneGenerator(
+            config=self.scene_config,
+            label_space=self.label_space,
+            random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        self._train_cache: dict = {}
+        self._val_cache: dict = {}
+
+    # ------------------------------------------------------------------ ---
+    @property
+    def n_classes(self) -> int:
+        """Number of semantic classes."""
+        return self.label_space.n_classes
+
+    def train_sample(self, index: int) -> SegmentationSample:
+        """Return (and cache) training sample *index*."""
+        return self._sample("train", index)
+
+    def val_sample(self, index: int) -> SegmentationSample:
+        """Return (and cache) validation sample *index*."""
+        return self._sample("val", index)
+
+    def _sample(self, split: str, index: int) -> SegmentationSample:
+        if split == "train":
+            size, cache, generator = self.n_train, self._train_cache, self._train_generator
+        elif split == "val":
+            size, cache, generator = self.n_val, self._val_cache, self._val_generator
+        else:
+            raise ValueError(f"unknown split {split!r}")
+        if not 0 <= index < size:
+            raise IndexError(f"{split} index {index} out of range [0, {size})")
+        if index not in cache:
+            scene = generator.generate(index)
+            cache[index] = SegmentationSample(
+                image_id=f"{split}_{index:04d}",
+                labels=scene.labels,
+                scene=scene,
+            )
+        return cache[index]
+
+    def iter_train(self) -> Iterator[SegmentationSample]:
+        """Iterate over all training samples."""
+        for i in range(self.n_train):
+            yield self.train_sample(i)
+
+    def iter_val(self) -> Iterator[SegmentationSample]:
+        """Iterate over all validation samples."""
+        for i in range(self.n_val):
+            yield self.val_sample(i)
+
+    def train_samples(self) -> List[SegmentationSample]:
+        """All training samples as a list."""
+        return list(self.iter_train())
+
+    def val_samples(self) -> List[SegmentationSample]:
+        """All validation samples as a list."""
+        return list(self.iter_val())
+
+
+@dataclass
+class KittiLikeDataset:
+    """Synthetic video dataset with sparse ground-truth annotation.
+
+    Every frame internally has ground truth (it is synthetic after all), but
+    only frames at indices ``labeled_stride``, ``2*labeled_stride``, ... carry
+    ``has_ground_truth=True``.  Training compositions that use "real" ground
+    truth may only rely on those frames; the rest is available for pseudo
+    ground truth generated by a reference network, exactly mirroring the
+    paper's KITTI setup.
+    """
+
+    n_sequences: int = 6
+    sequence_config: SequenceConfig = field(default_factory=SequenceConfig)
+    labeled_stride: int = 5
+    label_space: LabelSpace = field(default_factory=cityscapes_label_space)
+    random_state: RandomState = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sequences < 1:
+            raise ValueError("n_sequences must be >= 1")
+        if self.labeled_stride < 1:
+            raise ValueError("labeled_stride must be >= 1")
+        rng = as_rng(self.random_state)
+        self._generator = SequenceGenerator(
+            config=self.sequence_config,
+            label_space=self.label_space,
+            random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        self._cache: dict = {}
+
+    @property
+    def n_classes(self) -> int:
+        """Number of semantic classes."""
+        return self.label_space.n_classes
+
+    @property
+    def n_frames_per_sequence(self) -> int:
+        """Number of frames in every sequence."""
+        return self.sequence_config.n_frames
+
+    def sequence(self, index: int) -> SceneSequence:
+        """Return (and cache) sequence *index*."""
+        if not 0 <= index < self.n_sequences:
+            raise IndexError(f"sequence index {index} out of range [0, {self.n_sequences})")
+        if index not in self._cache:
+            self._cache[index] = self._generator.generate(index)
+        return self._cache[index]
+
+    def sequences(self) -> List[SceneSequence]:
+        """All sequences as a list."""
+        return [self.sequence(i) for i in range(self.n_sequences)]
+
+    def labeled_frame_indices(self) -> List[int]:
+        """Frame indices (within each sequence) that expose ground truth."""
+        return list(range(self.labeled_stride - 1, self.n_frames_per_sequence, self.labeled_stride))
+
+    def samples(self, sequence_index: int) -> List[SegmentationSample]:
+        """Samples of one sequence with the sparse ground-truth flags set."""
+        sequence = self.sequence(sequence_index)
+        labeled = set(self.labeled_frame_indices())
+        out: List[SegmentationSample] = []
+        for frame_index, scene in enumerate(sequence.frames):
+            out.append(
+                SegmentationSample(
+                    image_id=f"seq{sequence_index:03d}_frame{frame_index:04d}",
+                    labels=scene.labels,
+                    scene=scene,
+                    sequence_id=sequence_index,
+                    frame_index=frame_index,
+                    has_ground_truth=frame_index in labeled,
+                )
+            )
+        return out
+
+    def all_samples(self) -> List[SegmentationSample]:
+        """Samples of all sequences concatenated."""
+        out: List[SegmentationSample] = []
+        for i in range(self.n_sequences):
+            out.extend(self.samples(i))
+        return out
+
+    def n_labeled_frames(self) -> int:
+        """Total number of frames exposing ground truth across all sequences."""
+        return self.n_sequences * len(self.labeled_frame_indices())
+
+
+def global_frame_index(sequence_index: int, frame_index: int, frames_per_sequence: int) -> int:
+    """Unique global index of a frame, used to seed per-frame network noise."""
+    if frame_index < 0 or frame_index >= frames_per_sequence:
+        raise ValueError("frame_index out of range")
+    if sequence_index < 0:
+        raise ValueError("sequence_index must be non-negative")
+    return sequence_index * frames_per_sequence + frame_index

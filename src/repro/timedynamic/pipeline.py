@@ -1,0 +1,294 @@
+"""Time-dynamic MetaSeg pipeline (Fig. 2 and Table II of the paper).
+
+Protocol, following Section III:
+
+1. run the network under test (MobilenetV2 profile) on every frame of every
+   sequence of a KITTI-like video dataset;
+2. run the reference network (Xception65 profile) on every *unlabelled* frame
+   to obtain pseudo ground truth;
+3. extract per-frame segment metrics, track segments over time and build
+   time-series feature vectors for history lengths 0..n;
+4. split the segments with real ground truth 70 %/10 %/20 % into
+   train/val/test, assemble the R / RA / RAP / RP / P training compositions
+   (augmented and pseudo data are only ever added to the training part) and
+   fit gradient-boosting and l2-penalised neural-network meta models;
+5. report ACC/AUROC (meta classification) and σ/R² (meta regression) on the
+   real test split, per composition, model and number of considered frames,
+   averaged over random resamplings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import MetricsDataset
+from repro.core.meta_classification import MetaClassifier
+from repro.core.meta_regression import MetaRegressor
+from repro.core.metrics import SegmentMetricsExtractor
+from repro.evaluation.classification import accuracy, auroc
+from repro.evaluation.regression import r2_score, residual_std
+from repro.segmentation.datasets import KittiLikeDataset, global_frame_index
+from repro.segmentation.labels import LabelSpace, cityscapes_label_space
+from repro.segmentation.network import SimulatedSegmentationNetwork
+from repro.timedynamic.compositions import COMPOSITIONS, assemble_composition
+from repro.timedynamic.time_series import (
+    DEFAULT_BASE_FEATURES,
+    SequenceMetrics,
+    TimeSeriesBuilder,
+    build_time_series_dataset,
+)
+from repro.utils.rng import RandomState, as_rng
+
+
+def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    array = np.asarray(list(values), dtype=np.float64)
+    return float(array.mean()), float(array.std(ddof=0))
+
+
+@dataclass
+class TimeDynamicResult:
+    """Results per composition, model family and number of considered frames.
+
+    ``classification[composition][method][n_frames]`` is a dict with keys
+    ``accuracy`` and ``auroc`` mapping to (mean, std) tuples; ``regression``
+    is analogous with keys ``sigma`` and ``r2``.
+    """
+
+    classification: Dict[str, Dict[str, Dict[int, Dict[str, Tuple[float, float]]]]] = field(
+        default_factory=dict
+    )
+    regression: Dict[str, Dict[str, Dict[int, Dict[str, Tuple[float, float]]]]] = field(
+        default_factory=dict
+    )
+    n_runs: int = 0
+    n_real_segments: int = 0
+    n_pseudo_segments: int = 0
+
+    # ------------------------------------------------------------------ ---
+    def best_classification(self, composition: str, method: str) -> Dict[str, object]:
+        """Best AUROC over the number of frames (the Table II superscript)."""
+        per_frames = self.classification[composition][method]
+        best_frames = max(per_frames, key=lambda n: per_frames[n]["auroc"][0])
+        return {
+            "n_frames": best_frames,
+            "accuracy": per_frames[best_frames]["accuracy"],
+            "auroc": per_frames[best_frames]["auroc"],
+        }
+
+    def best_regression(self, composition: str, method: str) -> Dict[str, object]:
+        """Best R² over the number of frames (the Table II superscript)."""
+        per_frames = self.regression[composition][method]
+        best_frames = max(per_frames, key=lambda n: per_frames[n]["r2"][0])
+        return {
+            "n_frames": best_frames,
+            "sigma": per_frames[best_frames]["sigma"],
+            "r2": per_frames[best_frames]["r2"],
+        }
+
+    def auroc_series(self, composition: str, method: str) -> Dict[int, Tuple[float, float]]:
+        """AUROC as a function of the number of considered frames (Fig. 2)."""
+        per_frames = self.classification[composition][method]
+        return {n: per_frames[n]["auroc"] for n in sorted(per_frames)}
+
+
+class TimeDynamicPipeline:
+    """Orchestrates the Section III experiments on a KITTI-like video dataset."""
+
+    def __init__(
+        self,
+        test_network: SimulatedSegmentationNetwork,
+        reference_network: SimulatedSegmentationNetwork,
+        label_space: Optional[LabelSpace] = None,
+        base_features: Sequence[str] = DEFAULT_BASE_FEATURES,
+        classification_penalty: float = 1e-3,
+        regression_penalty: float = 1e-3,
+        gradient_boosting_params: Optional[dict] = None,
+        neural_network_params: Optional[dict] = None,
+    ) -> None:
+        self.test_network = test_network
+        self.reference_network = reference_network
+        self.label_space = label_space or cityscapes_label_space()
+        self.base_features = list(base_features)
+        self.classification_penalty = float(classification_penalty)
+        self.regression_penalty = float(regression_penalty)
+        self.gradient_boosting_params = dict(gradient_boosting_params or {
+            "n_estimators": 40, "max_depth": 3, "max_features": "sqrt", "subsample": 0.8,
+        })
+        self.neural_network_params = dict(neural_network_params or {
+            "hidden_layer_sizes": (24,), "n_epochs": 80, "batch_size": 64,
+        })
+        self.builder = TimeSeriesBuilder(
+            extractor=SegmentMetricsExtractor(label_space=self.label_space)
+        )
+
+    # ------------------------------------------------------------------ ---
+    def process_dataset(self, dataset: KittiLikeDataset) -> List[SequenceMetrics]:
+        """Run inference, pseudo labelling, metric extraction and tracking."""
+        sequences: List[SequenceMetrics] = []
+        frames_per_sequence = dataset.n_frames_per_sequence
+        for sequence_index in range(dataset.n_sequences):
+            samples = dataset.samples(sequence_index)
+            probability_fields = []
+            real_gt: List[Optional[np.ndarray]] = []
+            pseudo_gt: List[Optional[np.ndarray]] = []
+            for sample in samples:
+                frame_id = global_frame_index(
+                    sequence_index, sample.frame_index, frames_per_sequence
+                )
+                probability_fields.append(
+                    self.test_network.predict_probabilities(sample.labels, index=frame_id)
+                )
+                real_gt.append(sample.labels if sample.has_ground_truth else None)
+                if sample.has_ground_truth:
+                    # Pseudo ground truth is only generated where no real
+                    # ground truth exists (as in the paper).
+                    pseudo_gt.append(None)
+                else:
+                    pseudo_gt.append(
+                        self.reference_network.predict_labels(sample.labels, index=frame_id)
+                    )
+            sequences.append(
+                self.builder.process_sequence(
+                    probability_fields, real_gt, pseudo_gt, sequence_id=sequence_index
+                )
+            )
+        return sequences
+
+    # ------------------------------------------------------------------ ---
+    def _make_classifier(self, method: str, seed: int) -> MetaClassifier:
+        if method == "gradient_boosting":
+            return MetaClassifier(method=method, random_state=seed, **self.gradient_boosting_params)
+        return MetaClassifier(
+            method=method, penalty=self.classification_penalty, random_state=seed,
+            **self.neural_network_params,
+        )
+
+    def _make_regressor(self, method: str, seed: int) -> MetaRegressor:
+        if method == "gradient_boosting":
+            return MetaRegressor(method=method, random_state=seed, **self.gradient_boosting_params)
+        return MetaRegressor(
+            method=method, penalty=self.regression_penalty, random_state=seed,
+            **self.neural_network_params,
+        )
+
+    def run_protocol(
+        self,
+        sequences: Sequence[SequenceMetrics],
+        n_frames_list: Sequence[int] = tuple(range(0, 11)),
+        compositions: Sequence[str] = COMPOSITIONS,
+        methods: Sequence[str] = ("gradient_boosting", "neural_network"),
+        n_runs: int = 10,
+        split_fractions: Sequence[float] = (0.7, 0.1, 0.2),
+        augmentation_factor: float = 1.0,
+        random_state: RandomState = 0,
+    ) -> TimeDynamicResult:
+        """Evaluate meta classification and regression for all configurations."""
+        for composition in compositions:
+            if composition not in COMPOSITIONS:
+                raise ValueError(f"unknown composition {composition!r}")
+        for method in methods:
+            if method not in ("gradient_boosting", "neural_network", "logistic", "linear"):
+                raise ValueError(f"unsupported method {method!r}")
+        rng = as_rng(random_state)
+        result = TimeDynamicResult(n_runs=n_runs)
+
+        # Pre-build the datasets per history length (shared by all runs).
+        real_datasets: Dict[int, MetricsDataset] = {}
+        pseudo_datasets: Dict[int, MetricsDataset] = {}
+        for n_frames in n_frames_list:
+            real_datasets[n_frames] = build_time_series_dataset(
+                sequences, n_previous=n_frames, target="real", base_features=self.base_features
+            )
+            pseudo_datasets[n_frames] = build_time_series_dataset(
+                sequences, n_previous=n_frames, target="pseudo", base_features=self.base_features
+            )
+        result.n_real_segments = len(real_datasets[list(n_frames_list)[0]])
+        result.n_pseudo_segments = len(pseudo_datasets[list(n_frames_list)[0]])
+
+        collect_cls: Dict[Tuple[str, str, int], List[Dict[str, float]]] = {}
+        collect_reg: Dict[Tuple[str, str, int], List[Dict[str, float]]] = {}
+        for _ in range(n_runs):
+            run_seed = int(rng.integers(0, 2**31 - 1))
+            for n_frames in n_frames_list:
+                real = real_datasets[n_frames]
+                pseudo = pseudo_datasets[n_frames]
+                train, _val, test = real.split(split_fractions, random_state=run_seed)
+                test_cls_targets = test.target_iou0()
+                test_reg_targets = test.target_iou()
+                for composition in compositions:
+                    training = assemble_composition(
+                        composition, train, pseudo,
+                        augmentation_factor=augmentation_factor, random_state=run_seed,
+                    )
+                    for method in methods:
+                        classifier = self._make_classifier(method, run_seed)
+                        classifier.fit(training)
+                        scores = classifier.predict_proba(test)
+                        collect_cls.setdefault((composition, method, n_frames), []).append({
+                            "accuracy": accuracy(
+                                test_cls_targets, (scores >= 0.5).astype(np.int64)
+                            ),
+                            "auroc": auroc(test_cls_targets, scores),
+                        })
+                        regressor = self._make_regressor(method, run_seed)
+                        regressor.fit(training)
+                        predictions = regressor.predict(test)
+                        collect_reg.setdefault((composition, method, n_frames), []).append({
+                            "sigma": residual_std(test_reg_targets, predictions),
+                            "r2": r2_score(test_reg_targets, predictions),
+                        })
+
+        for (composition, method, n_frames), runs in collect_cls.items():
+            result.classification.setdefault(composition, {}).setdefault(method, {})[n_frames] = {
+                key: _mean_std([run[key] for run in runs]) for key in runs[0]
+            }
+        for (composition, method, n_frames), runs in collect_reg.items():
+            result.regression.setdefault(composition, {}).setdefault(method, {})[n_frames] = {
+                key: _mean_std([run[key] for run in runs]) for key in runs[0]
+            }
+        return result
+
+    # ------------------------------------------------------------------ ---
+    def single_frame_linear_reference(
+        self,
+        sequences: Sequence[SequenceMetrics],
+        n_runs: int = 10,
+        split_fractions: Sequence[float] = (0.7, 0.1, 0.2),
+        random_state: RandomState = 0,
+    ) -> Dict[str, Tuple[float, float]]:
+        """Single-frame linear-model reference (the baseline the paper improves on).
+
+        Section III quotes gains of +5.04 pp. AUROC and +5.63 pp. R² of the
+        time-dynamic gradient-boosting models over the single-frame linear
+        models; this helper provides the latter.
+        """
+        rng = as_rng(random_state)
+        dataset = build_time_series_dataset(
+            sequences, n_previous=0, target="real", base_features=self.base_features
+        )
+        aurocs: List[float] = []
+        r2s: List[float] = []
+        accuracies: List[float] = []
+        sigmas: List[float] = []
+        for _ in range(n_runs):
+            run_seed = int(rng.integers(0, 2**31 - 1))
+            train, _val, test = dataset.split(split_fractions, random_state=run_seed)
+            classifier = MetaClassifier(method="logistic", penalty=0.0, random_state=run_seed)
+            classifier.fit(train)
+            scores = classifier.predict_proba(test)
+            aurocs.append(auroc(test.target_iou0(), scores))
+            accuracies.append(accuracy(test.target_iou0(), (scores >= 0.5).astype(np.int64)))
+            regressor = MetaRegressor(method="linear", penalty=0.0, random_state=run_seed)
+            regressor.fit(train)
+            predictions = regressor.predict(test)
+            r2s.append(r2_score(test.target_iou(), predictions))
+            sigmas.append(residual_std(test.target_iou(), predictions))
+        return {
+            "accuracy": _mean_std(accuracies),
+            "auroc": _mean_std(aurocs),
+            "sigma": _mean_std(sigmas),
+            "r2": _mean_std(r2s),
+        }

@@ -1,0 +1,68 @@
+"""Pseudo ground truth from a stronger reference network.
+
+Section III: "we utilize the Xception65 net with high predictive performance,
+its predicted segmentations we term pseudo ground truth.  We generate pseudo
+ground truth for all images where no ground truth is available."  The helpers
+here compute pseudo IoU targets for the segments of the network under test by
+treating the reference network's argmax prediction as if it were ground
+truth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.segments import Segmentation, extract_segments, segment_ious
+from repro.segmentation.network import SimulatedSegmentationNetwork
+from repro.utils.validation import check_label_map
+
+
+def pseudo_ground_truth_labels(
+    reference_network: SimulatedSegmentationNetwork,
+    gt_labels: np.ndarray,
+    index: int = 0,
+) -> np.ndarray:
+    """Argmax prediction of the reference network, used as pseudo ground truth.
+
+    The simulated reference network (like the real Xception65 in the paper)
+    still makes mistakes — that is the point: pseudo ground truth is cheaper
+    but noisier than human annotation.
+    """
+    gt_labels = check_label_map(gt_labels)
+    return reference_network.predict_labels(gt_labels, index=index)
+
+
+def pseudo_ground_truth_iou(
+    prediction: Segmentation,
+    pseudo_labels: np.ndarray,
+    connectivity: int = 8,
+    ignore_id: int = -1,
+) -> np.ndarray:
+    """Segment-wise IoU of a prediction against pseudo ground truth.
+
+    Returns an array aligned with ``prediction.segment_ids()``.
+    """
+    pseudo_labels = check_label_map(pseudo_labels)
+    pseudo_segmentation = extract_segments(
+        pseudo_labels, connectivity=connectivity, ignore_id=ignore_id
+    )
+    iou_map = segment_ious(prediction, pseudo_segmentation, ignore_id=ignore_id)
+    return np.array([iou_map[sid] for sid in prediction.segment_ids()], dtype=np.float64)
+
+
+def agreement_rate(
+    pseudo_labels: np.ndarray, real_labels: Optional[np.ndarray], ignore_id: int = -1
+) -> Optional[float]:
+    """Pixel agreement between pseudo and real ground truth (diagnostic)."""
+    if real_labels is None:
+        return None
+    pseudo_labels = check_label_map(pseudo_labels)
+    real_labels = check_label_map(real_labels)
+    if pseudo_labels.shape != real_labels.shape:
+        raise ValueError("pseudo and real label maps must share the same shape")
+    valid = real_labels != ignore_id
+    if not np.any(valid):
+        return None
+    return float(np.mean(pseudo_labels[valid] == real_labels[valid]))

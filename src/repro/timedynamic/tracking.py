@@ -1,0 +1,250 @@
+"""Light-weight segment tracking over video frames.
+
+Section III: "we develop a light-weight tracking algorithm based on semantic
+segmentation, since by assumption the latter is already available.  Segments
+in consecutive frames are matched according to their overlap in multiple
+frames.  These measures are improved by shifting segments according to their
+expected location in the subsequent frame."
+
+The tracker below follows that recipe:
+
+* candidate matches between a segment in frame t-1 and a segment in frame t
+  require equal predicted class;
+* the matching score is the pixel overlap after *shifting* the old segment by
+  its expected displacement (estimated from the track's recent centroid
+  motion);
+* greedy one-to-one assignment by decreasing score; unmatched new segments
+  start new tracks, unmatched old tracks stay alive for a configurable number
+  of frames (so short flickers do not break identities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.segments import Segmentation
+
+
+@dataclass
+class TrackedSegment:
+    """One segment instance tracked through time."""
+
+    track_id: int
+    class_id: int
+    last_frame: int
+    last_segment_id: int
+    centroid_history: List[Tuple[float, float]] = field(default_factory=list)
+    segment_history: Dict[int, int] = field(default_factory=dict)
+    """Mapping frame index → segment id within that frame."""
+    missed_frames: int = 0
+
+    def expected_shift(self) -> Tuple[float, float]:
+        """Expected displacement per frame from the recent centroid motion."""
+        if len(self.centroid_history) < 2:
+            return (0.0, 0.0)
+        (prev_row, prev_col), (last_row, last_col) = self.centroid_history[-2:]
+        return (last_row - prev_row, last_col - prev_col)
+
+
+def _overlap_after_shift(
+    old_mask: np.ndarray,
+    new_mask: np.ndarray,
+    shift: Tuple[float, float],
+) -> int:
+    """Pixel overlap of *old_mask* shifted by *shift* with *new_mask*."""
+    height, width = old_mask.shape
+    rows, cols = np.nonzero(old_mask)
+    if rows.size == 0:
+        return 0
+    shifted_rows = np.round(rows + shift[0]).astype(np.int64)
+    shifted_cols = np.round(cols + shift[1]).astype(np.int64)
+    keep = (
+        (shifted_rows >= 0)
+        & (shifted_rows < height)
+        & (shifted_cols >= 0)
+        & (shifted_cols < width)
+    )
+    if not np.any(keep):
+        return 0
+    return int(np.sum(new_mask[shifted_rows[keep], shifted_cols[keep]]))
+
+
+def match_segments(
+    previous: Segmentation,
+    current: Segmentation,
+    shifts: Optional[Dict[int, Tuple[float, float]]] = None,
+    min_overlap_fraction: float = 0.1,
+) -> Dict[int, int]:
+    """Greedy one-to-one matching of segments between two consecutive frames.
+
+    Parameters
+    ----------
+    previous, current:
+        Segment decompositions of frame t-1 and frame t.
+    shifts:
+        Optional expected displacement per previous-frame segment id.
+    min_overlap_fraction:
+        Minimum overlap (relative to the smaller of the two segments) for a
+        match to be accepted.
+
+    Returns
+    -------
+    dict
+        Mapping previous segment id → current segment id.
+    """
+    if not 0.0 <= min_overlap_fraction <= 1.0:
+        raise ValueError("min_overlap_fraction must be in [0, 1]")
+    shifts = shifts or {}
+    candidates: List[Tuple[int, int, int]] = []
+    current_masks = {sid: current.components == sid for sid in current.segment_ids()}
+    for prev_id in previous.segment_ids():
+        prev_info = previous.segments[prev_id]
+        prev_mask = previous.components == prev_id
+        shift = shifts.get(prev_id, (0.0, 0.0))
+        for curr_id in current.segment_ids():
+            curr_info = current.segments[curr_id]
+            if curr_info.class_id != prev_info.class_id:
+                continue
+            # Cheap bounding-box rejection before the pixel-level overlap.
+            if not _boxes_close(prev_info.bounding_box, curr_info.bounding_box, shift, margin=8):
+                continue
+            overlap = _overlap_after_shift(prev_mask, current_masks[curr_id], shift)
+            smaller = min(prev_info.size, curr_info.size)
+            if smaller > 0 and overlap / smaller >= min_overlap_fraction:
+                candidates.append((overlap, prev_id, curr_id))
+    candidates.sort(key=lambda item: -item[0])
+    matched_prev: set = set()
+    matched_curr: set = set()
+    matches: Dict[int, int] = {}
+    for overlap, prev_id, curr_id in candidates:
+        if prev_id in matched_prev or curr_id in matched_curr:
+            continue
+        matches[prev_id] = curr_id
+        matched_prev.add(prev_id)
+        matched_curr.add(curr_id)
+    return matches
+
+
+def _boxes_close(
+    box_a: Tuple[int, int, int, int],
+    box_b: Tuple[int, int, int, int],
+    shift: Tuple[float, float],
+    margin: int,
+) -> bool:
+    """Whether bounding box *a*, shifted, overlaps box *b* within a margin."""
+    top_a, left_a, bottom_a, right_a = box_a
+    top_b, left_b, bottom_b, right_b = box_b
+    top_a += shift[0] - margin
+    bottom_a += shift[0] + margin
+    left_a += shift[1] - margin
+    right_a += shift[1] + margin
+    return not (
+        bottom_a <= top_b or bottom_b <= top_a or right_a <= left_b or right_b <= left_a
+    )
+
+
+class SegmentTracker:
+    """Track predicted segments through a sequence of frames.
+
+    Usage: call :meth:`update` once per frame (in order) with the frame's
+    :class:`~repro.core.segments.Segmentation`; afterwards :attr:`tracks`
+    contains every track with its per-frame segment ids.
+    """
+
+    def __init__(self, max_missed_frames: int = 2, min_overlap_fraction: float = 0.1) -> None:
+        if max_missed_frames < 0:
+            raise ValueError("max_missed_frames must be non-negative")
+        self.max_missed_frames = max_missed_frames
+        self.min_overlap_fraction = min_overlap_fraction
+        self.tracks: Dict[int, TrackedSegment] = {}
+        self._active: Dict[int, TrackedSegment] = {}
+        self._next_track_id = 0
+        self._frame_index = -1
+        self._previous: Optional[Segmentation] = None
+
+    # ------------------------------------------------------------------ ---
+    def update(self, segmentation: Segmentation) -> Dict[int, int]:
+        """Ingest the next frame; return mapping segment id → track id."""
+        self._frame_index += 1
+        frame = self._frame_index
+        assignment: Dict[int, int] = {}
+        if self._previous is None:
+            for segment_id in segmentation.segment_ids():
+                assignment[segment_id] = self._start_track(segmentation, segment_id, frame)
+        else:
+            shifts = {}
+            prev_segment_to_track = {
+                track.last_segment_id: track
+                for track in self._active.values()
+                if track.last_frame == frame - 1
+            }
+            for prev_segment_id, track in prev_segment_to_track.items():
+                shifts[prev_segment_id] = track.expected_shift()
+            matches = match_segments(
+                self._previous, segmentation, shifts, self.min_overlap_fraction
+            )
+            matched_current = set()
+            for prev_segment_id, curr_segment_id in matches.items():
+                track = prev_segment_to_track.get(prev_segment_id)
+                if track is None:
+                    continue
+                self._extend_track(track, segmentation, curr_segment_id, frame)
+                assignment[curr_segment_id] = track.track_id
+                matched_current.add(curr_segment_id)
+            for segment_id in segmentation.segment_ids():
+                if segment_id not in matched_current:
+                    assignment[segment_id] = self._start_track(segmentation, segment_id, frame)
+        # Age unmatched active tracks and retire the stale ones.
+        for track in list(self._active.values()):
+            if track.last_frame != frame:
+                track.missed_frames += 1
+                if track.missed_frames > self.max_missed_frames:
+                    del self._active[track.track_id]
+        self._previous = segmentation
+        return assignment
+
+    # ------------------------------------------------------------------ ---
+    def _start_track(self, segmentation: Segmentation, segment_id: int, frame: int) -> int:
+        info = segmentation.segments[segment_id]
+        track = TrackedSegment(
+            track_id=self._next_track_id,
+            class_id=info.class_id,
+            last_frame=frame,
+            last_segment_id=segment_id,
+            centroid_history=[info.centroid],
+            segment_history={frame: segment_id},
+        )
+        self.tracks[track.track_id] = track
+        self._active[track.track_id] = track
+        self._next_track_id += 1
+        return track.track_id
+
+    def _extend_track(
+        self, track: TrackedSegment, segmentation: Segmentation, segment_id: int, frame: int
+    ) -> None:
+        info = segmentation.segments[segment_id]
+        track.last_frame = frame
+        track.last_segment_id = segment_id
+        track.missed_frames = 0
+        track.centroid_history.append(info.centroid)
+        track.segment_history[frame] = segment_id
+
+    # ------------------------------------------------------------------ ---
+    @property
+    def n_tracks(self) -> int:
+        """Total number of tracks created so far."""
+        return len(self.tracks)
+
+    def track_of(self, frame: int, segment_id: int) -> Optional[int]:
+        """Track id of a segment in a given frame, or ``None`` if untracked."""
+        for track in self.tracks.values():
+            if track.segment_history.get(frame) == segment_id:
+                return track.track_id
+        return None
+
+    def track_lengths(self) -> Dict[int, int]:
+        """Number of frames each track was observed in."""
+        return {track_id: len(track.segment_history) for track_id, track in self.tracks.items()}

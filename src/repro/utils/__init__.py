@@ -1,0 +1,44 @@
+"""Utility subpackage: low-level helpers shared by all other subpackages.
+
+The modules in here implement substrate functionality the paper relies on
+implicitly (connected component labelling, reproducible random number
+handling, array manipulation) without depending on anything outside numpy.
+"""
+
+from repro.utils.connected_components import (
+    connected_components,
+    component_sizes,
+    relabel_sequential,
+)
+from repro.utils.rng import RandomState, spawn_rngs, as_rng
+from repro.utils.arrays import (
+    one_hot,
+    boundary_mask,
+    crop_center,
+    resize_nearest,
+    resize_bilinear,
+)
+from repro.utils.validation import (
+    check_probability_field,
+    check_label_map,
+    check_same_shape,
+    check_in_range,
+)
+
+__all__ = [
+    "connected_components",
+    "component_sizes",
+    "relabel_sequential",
+    "RandomState",
+    "spawn_rngs",
+    "as_rng",
+    "one_hot",
+    "boundary_mask",
+    "crop_center",
+    "resize_nearest",
+    "resize_bilinear",
+    "check_probability_field",
+    "check_label_map",
+    "check_same_shape",
+    "check_in_range",
+]

@@ -1,0 +1,161 @@
+"""Small array helpers: one-hot encoding, boundaries, crops and resizing.
+
+The multi-resolution extension of MetaSeg (Section II of the paper, ref. [18])
+needs nested center crops and resizing; the simulated segmentation network
+needs nearest/bilinear resizing and boundary extraction.  We implement these
+with plain numpy so the library has no image-processing dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_label_map, check_probability_field
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """One-hot encode a 2-D label map into an (H, W, C) float field.
+
+    Pixels labelled ``-1`` (ignore) get an all-zero row.
+    """
+    labels = check_label_map(labels)
+    if n_classes <= int(labels.max()):
+        raise ValueError(
+            f"n_classes={n_classes} too small for max label {int(labels.max())}"
+        )
+    h, w = labels.shape
+    out = np.zeros((h, w, n_classes), dtype=np.float64)
+    valid = labels >= 0
+    rows, cols = np.nonzero(valid)
+    out[rows, cols, labels[valid]] = 1.0
+    return out
+
+
+def boundary_mask(labels: np.ndarray, connectivity: int = 4) -> np.ndarray:
+    """Return a boolean mask of pixels lying on a label boundary.
+
+    A pixel is a boundary pixel if at least one of its 4- (or 8-) neighbours
+    carries a different label.  Image border pixels count as boundary pixels,
+    matching the segment-boundary convention used for the fractality metrics
+    in MetaSeg.
+    """
+    labels = check_label_map(labels)
+    if connectivity not in (4, 8):
+        raise ValueError(f"connectivity must be 4 or 8, got {connectivity}")
+    h, w = labels.shape
+    mask = np.zeros((h, w), dtype=bool)
+    # Neighbour differences along the two axes.
+    mask[:-1, :] |= labels[:-1, :] != labels[1:, :]
+    mask[1:, :] |= labels[1:, :] != labels[:-1, :]
+    mask[:, :-1] |= labels[:, :-1] != labels[:, 1:]
+    mask[:, 1:] |= labels[:, 1:] != labels[:, :-1]
+    if connectivity == 8:
+        mask[:-1, :-1] |= labels[:-1, :-1] != labels[1:, 1:]
+        mask[1:, 1:] |= labels[1:, 1:] != labels[:-1, :-1]
+        mask[:-1, 1:] |= labels[:-1, 1:] != labels[1:, :-1]
+        mask[1:, :-1] |= labels[1:, :-1] != labels[:-1, 1:]
+    # Image border counts as boundary.
+    mask[0, :] = True
+    mask[-1, :] = True
+    mask[:, 0] = True
+    mask[:, -1] = True
+    return mask
+
+
+def crop_center(array: np.ndarray, crop_height: int, crop_width: int) -> np.ndarray:
+    """Extract a centered crop of the given spatial size from a 2-D/3-D array."""
+    if crop_height <= 0 or crop_width <= 0:
+        raise ValueError("crop sizes must be positive")
+    h, w = array.shape[:2]
+    if crop_height > h or crop_width > w:
+        raise ValueError(
+            f"crop size ({crop_height}, {crop_width}) exceeds array size ({h}, {w})"
+        )
+    top = (h - crop_height) // 2
+    left = (w - crop_width) // 2
+    return array[top : top + crop_height, left : left + crop_width]
+
+
+def _resize_indices(src: int, dst: int) -> np.ndarray:
+    """Nearest-neighbour source indices for resizing a length-*src* axis to *dst*."""
+    if dst <= 0:
+        raise ValueError("target size must be positive")
+    return np.minimum((np.arange(dst) + 0.5) * src / dst, src - 1).astype(np.int64)
+
+
+def resize_nearest(array: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Nearest-neighbour resize of a 2-D or 3-D array to (height, width)."""
+    rows = _resize_indices(array.shape[0], height)
+    cols = _resize_indices(array.shape[1], width)
+    return array[np.ix_(rows, cols)] if array.ndim == 2 else array[rows][:, cols]
+
+
+def resize_bilinear(array: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Bilinear resize of a 2-D or 3-D float array to (height, width)."""
+    arr = np.asarray(array, dtype=np.float64)
+    src_h, src_w = arr.shape[:2]
+    if height <= 0 or width <= 0:
+        raise ValueError("target size must be positive")
+    # Continuous source coordinates of target pixel centers.
+    ys = (np.arange(height) + 0.5) * src_h / height - 0.5
+    xs = (np.arange(width) + 0.5) * src_w / width - 0.5
+    ys = np.clip(ys, 0, src_h - 1)
+    xs = np.clip(xs, 0, src_w - 1)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = (ys - y0).reshape(-1, 1)
+    wx = (xs - x0).reshape(1, -1)
+    if arr.ndim == 3:
+        wy = wy[..., None]
+        wx = wx[..., None]
+    top = arr[y0][:, x0] * (1 - wx) + arr[y0][:, x1] * wx
+    bottom = arr[y1][:, x0] * (1 - wx) + arr[y1][:, x1] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def renormalise_probabilities(probs: np.ndarray) -> np.ndarray:
+    """Clip to non-negative and renormalise an (H, W, C) probability field."""
+    arr = np.clip(np.asarray(probs, dtype=np.float64), 0.0, None)
+    sums = arr.sum(axis=2, keepdims=True)
+    sums[sums == 0] = 1.0
+    return arr / sums
+
+
+def downsample_probability_field(probs: np.ndarray, factor: int) -> np.ndarray:
+    """Block-average an (H, W, C) probability field by an integer factor.
+
+    Used by the multi-resolution pyramid to simulate inference at reduced
+    resolution; the result is renormalised per pixel.
+    """
+    probs = check_probability_field(probs)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1:
+        return probs.copy()
+    h, w, c = probs.shape
+    new_h, new_w = h // factor, w // factor
+    if new_h == 0 or new_w == 0:
+        raise ValueError(f"factor {factor} too large for field of shape {(h, w)}")
+    trimmed = probs[: new_h * factor, : new_w * factor]
+    blocks = trimmed.reshape(new_h, factor, new_w, factor, c)
+    return renormalise_probabilities(blocks.mean(axis=(1, 3)))
+
+
+def pad_to_shape(array: np.ndarray, height: int, width: int, value: float = 0.0) -> np.ndarray:
+    """Pad a 2-D/3-D array symmetrically up to (height, width) with *value*."""
+    h, w = array.shape[:2]
+    if height < h or width < w:
+        raise ValueError("target shape must not be smaller than the array")
+    pad_h = height - h
+    pad_w = width - w
+    pads: Tuple[Tuple[int, int], ...] = (
+        (pad_h // 2, pad_h - pad_h // 2),
+        (pad_w // 2, pad_w - pad_w // 2),
+    )
+    if array.ndim == 3:
+        pads = pads + ((0, 0),)
+    return np.pad(array, pads, mode="constant", constant_values=value)

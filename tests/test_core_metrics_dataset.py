@@ -1,0 +1,182 @@
+"""Tests for repro.core.metrics and repro.core.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MetricsDataset
+from repro.core.metrics import METRIC_GROUPS, SegmentMetricsExtractor
+from repro.evaluation.regression import pearson_correlation
+
+
+class TestSegmentMetricsExtractor:
+    def test_feature_names_consistent(self, extractor, image_metrics):
+        names = extractor.feature_names()
+        assert image_metrics.dataset.feature_names == names
+        assert image_metrics.dataset.features.shape[1] == len(names)
+
+    def test_one_row_per_predicted_segment(self, image_metrics):
+        assert len(image_metrics.dataset) == image_metrics.prediction.n_segments
+
+    def test_metric_groups_are_subsets_of_features(self, extractor):
+        names = set(extractor.feature_names())
+        for group, members in METRIC_GROUPS.items():
+            assert set(members).issubset(names), group
+
+    def test_segment_sizes_match_segmentation(self, image_metrics):
+        dataset = image_metrics.dataset
+        sizes = dataset.feature("S")
+        for row, sid in enumerate(dataset.segment_ids):
+            assert sizes[row] == image_metrics.prediction.segments[int(sid)].size
+
+    def test_size_decomposition(self, image_metrics):
+        dataset = image_metrics.dataset
+        np.testing.assert_allclose(
+            dataset.feature("S"), dataset.feature("S_in") + dataset.feature("S_bd")
+        )
+
+    def test_dispersion_means_in_unit_interval(self, image_metrics):
+        dataset = image_metrics.dataset
+        for name in ("E_mean", "M_mean", "V_mean", "E_bd_mean", "pmax_mean"):
+            values = dataset.feature(name)
+            assert values.min() >= -1e-9
+            assert values.max() <= 1.0 + 1e-9
+
+    def test_class_probabilities_sum_to_one(self, image_metrics, label_space):
+        dataset = image_metrics.dataset
+        cprob_names = [f"cprob_{spec.name.replace(' ', '_')}" for spec in label_space]
+        total = sum(dataset.feature(name) for name in cprob_names)
+        np.testing.assert_allclose(total, 1.0, atol=1e-9)
+
+    def test_predicted_class_feature_matches_class_ids(self, image_metrics):
+        dataset = image_metrics.dataset
+        np.testing.assert_array_equal(
+            dataset.feature("predicted_class").astype(int), dataset.class_ids
+        )
+
+    def test_centroids_normalised(self, image_metrics):
+        dataset = image_metrics.dataset
+        assert dataset.feature("centroid_row").max() <= 1.0
+        assert dataset.feature("centroid_col").max() <= 1.0
+
+    def test_iou_targets_available_with_gt(self, image_metrics):
+        assert image_metrics.dataset.has_targets
+        iou = image_metrics.dataset.target_iou()
+        assert np.all((iou >= 0) & (iou <= 1))
+
+    def test_extraction_without_gt_has_no_targets(self, extractor, probability_field):
+        dataset = extractor.extract(probability_field, gt_labels=None, image_id="nogt")
+        assert not dataset.has_targets
+        with pytest.raises(ValueError):
+            dataset.target_iou()
+
+    def test_entropy_correlates_negatively_with_iou(self, metrics_dataset):
+        correlation = pearson_correlation(
+            metrics_dataset.feature("E_mean"), metrics_dataset.target_iou()
+        )
+        assert correlation < -0.3
+
+    def test_class_count_mismatch_raises(self, extractor):
+        bad = np.full((8, 8, 5), 0.2)
+        with pytest.raises(ValueError):
+            extractor.extract(bad)
+
+    def test_shape_mismatch_raises(self, extractor, probability_field):
+        with pytest.raises(ValueError):
+            extractor.extract(probability_field, gt_labels=np.zeros((2, 2), dtype=int))
+
+    def test_invalid_connectivity(self, label_space):
+        with pytest.raises(ValueError):
+            SegmentMetricsExtractor(label_space=label_space, connectivity=5)
+
+
+class TestMetricsDataset:
+    def test_basic_invariants(self, metrics_dataset):
+        assert len(metrics_dataset) == metrics_dataset.features.shape[0]
+        assert metrics_dataset.n_features == len(metrics_dataset.feature_names)
+
+    def test_target_iou0_binary(self, metrics_dataset):
+        targets = metrics_dataset.target_iou0()
+        assert set(np.unique(targets)).issubset({0, 1})
+        assert abs(
+            metrics_dataset.false_positive_fraction() - float(np.mean(targets == 0))
+        ) < 1e-12
+
+    def test_feature_lookup(self, metrics_dataset):
+        column = metrics_dataset.feature("S")
+        np.testing.assert_array_equal(
+            column, metrics_dataset.feature_matrix(["S"]).ravel()
+        )
+
+    def test_unknown_feature_raises(self, metrics_dataset):
+        with pytest.raises(KeyError):
+            metrics_dataset.feature("does_not_exist")
+
+    def test_subset(self, metrics_dataset):
+        subset = metrics_dataset.subset(np.arange(5))
+        assert len(subset) == 5
+        np.testing.assert_array_equal(subset.features, metrics_dataset.features[:5])
+
+    def test_split_partitions_rows(self, metrics_dataset):
+        train, test = metrics_dataset.split((0.8, 0.2), random_state=0)
+        assert len(train) + len(test) == len(metrics_dataset)
+        assert abs(len(train) - round(0.8 * len(metrics_dataset))) <= 1
+
+    def test_split_deterministic(self, metrics_dataset):
+        a_train, _ = metrics_dataset.split((0.8, 0.2), random_state=3)
+        b_train, _ = metrics_dataset.split((0.8, 0.2), random_state=3)
+        np.testing.assert_array_equal(a_train.features, b_train.features)
+
+    def test_concatenate_roundtrip(self, metrics_dataset):
+        parts = metrics_dataset.per_image()
+        assert len(parts) == 8
+        rebuilt = MetricsDataset.concatenate(parts)
+        assert len(rebuilt) == len(metrics_dataset)
+        np.testing.assert_allclose(np.sort(rebuilt.feature("S")),
+                                   np.sort(metrics_dataset.feature("S")))
+
+    def test_concatenate_mismatched_features_raises(self, metrics_dataset):
+        other = MetricsDataset(
+            features=np.zeros((2, 2)),
+            feature_names=["a", "b"],
+            segment_ids=np.arange(2),
+            class_ids=np.zeros(2, dtype=int),
+            image_ids=np.array(["x", "x"], dtype=object),
+            iou=np.zeros(2),
+        )
+        with pytest.raises(ValueError):
+            MetricsDataset.concatenate([metrics_dataset, other])
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ValueError):
+            MetricsDataset.concatenate([])
+
+    def test_with_iou(self, extractor, probability_field):
+        dataset = extractor.extract(probability_field, gt_labels=None, image_id="nogt")
+        pseudo = np.linspace(0, 1, len(dataset))
+        updated = dataset.with_iou(pseudo)
+        assert updated.has_targets
+        np.testing.assert_allclose(updated.target_iou(), pseudo)
+
+    def test_invalid_iou_range_rejected(self, metrics_dataset):
+        with pytest.raises(ValueError):
+            metrics_dataset.with_iou(np.full(len(metrics_dataset), 2.0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsDataset(
+                features=np.zeros((3, 2)),
+                feature_names=["a", "b"],
+                segment_ids=np.arange(2),
+                class_ids=np.zeros(3, dtype=int),
+                image_ids=np.array(["x"] * 3, dtype=object),
+            )
+
+    def test_wrong_feature_name_count_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsDataset(
+                features=np.zeros((3, 2)),
+                feature_names=["a"],
+                segment_ids=np.arange(3),
+                class_ids=np.zeros(3, dtype=int),
+                image_ids=np.array(["x"] * 3, dtype=object),
+            )

@@ -1,0 +1,185 @@
+"""Tests for repro.core.segments."""
+
+import numpy as np
+import pytest
+
+from repro.core.segments import (
+    extract_segments,
+    false_negative_segments,
+    false_positive_segments,
+    segment_iou,
+    segment_ious,
+    segment_precision_recall,
+)
+
+
+def _simple_pair():
+    """A small handcrafted GT / prediction pair with known IoU values."""
+    gt = np.zeros((6, 8), dtype=int)
+    gt[1:4, 1:4] = 1          # a 3x3 object of class 1
+    pred = np.zeros((6, 8), dtype=int)
+    pred[1:4, 2:5] = 1        # shifted by one column: 6 of 9+3 pixels overlap
+    pred[5, 6:8] = 2          # hallucinated class-2 segment (false positive)
+    return gt, pred
+
+
+class TestExtractSegments:
+    def test_counts_and_classes(self):
+        gt, pred = _simple_pair()
+        seg = extract_segments(pred)
+        classes = sorted(info.class_id for info in seg.segments.values())
+        assert classes == [0, 1, 2]
+        assert seg.n_segments == 3
+
+    def test_sizes_sum_to_pixels(self):
+        gt, _ = _simple_pair()
+        seg = extract_segments(gt)
+        assert sum(info.size for info in seg.segments.values()) == gt.size
+
+    def test_mask_and_class_lookup(self):
+        gt, _ = _simple_pair()
+        seg = extract_segments(gt)
+        for sid in seg.segment_ids():
+            mask = seg.mask(sid)
+            assert mask.sum() == seg.segments[sid].size
+            assert np.unique(gt[mask]).tolist() == [seg.class_of(sid)]
+
+    def test_unknown_segment_raises(self):
+        gt, _ = _simple_pair()
+        seg = extract_segments(gt)
+        with pytest.raises(KeyError):
+            seg.mask(999)
+        with pytest.raises(KeyError):
+            seg.class_of(999)
+
+    def test_segments_of_class(self):
+        gt, _ = _simple_pair()
+        seg = extract_segments(gt)
+        ids = seg.segments_of_class(1)
+        assert len(ids) == 1
+        assert seg.segments[ids[0]].size == 9
+
+    def test_ignore_pixels_excluded(self):
+        gt, _ = _simple_pair()
+        gt_with_ignore = gt.copy()
+        gt_with_ignore[0, :] = -1
+        seg = extract_segments(gt_with_ignore)
+        assert np.all(seg.components[0, :] == 0)
+
+    def test_centroid_inside_bounding_box(self, image_metrics):
+        prediction = image_metrics.prediction
+        for info in prediction.segments.values():
+            top, left, bottom, right = info.bounding_box
+            assert top <= info.centroid[0] <= bottom
+            assert left <= info.centroid[1] <= right
+
+
+class TestSegmentIoU:
+    def test_known_overlap(self):
+        gt, pred = _simple_pair()
+        prediction = extract_segments(pred)
+        ground_truth = extract_segments(gt)
+        class1_id = prediction.segments_of_class(1)[0]
+        value = segment_iou(prediction, ground_truth, class1_id)
+        # Intersection 6 pixels, union 12 pixels.
+        assert abs(value - 0.5) < 1e-12
+
+    def test_false_positive_has_zero_iou(self):
+        gt, pred = _simple_pair()
+        prediction = extract_segments(pred)
+        ground_truth = extract_segments(gt)
+        class2_id = prediction.segments_of_class(2)[0]
+        assert segment_iou(prediction, ground_truth, class2_id) == 0.0
+
+    def test_perfect_prediction_all_ones(self):
+        gt, _ = _simple_pair()
+        prediction = extract_segments(gt)
+        ground_truth = extract_segments(gt)
+        ious = segment_ious(prediction, ground_truth)
+        assert all(abs(v - 1.0) < 1e-12 for v in ious.values())
+
+    def test_all_predicted_segments_have_iou(self, image_metrics):
+        from repro.core.segments import segment_ious
+
+        ious = segment_ious(image_metrics.prediction, image_metrics.ground_truth)
+        assert set(ious) == set(image_metrics.prediction.segment_ids())
+        assert all(0.0 <= v <= 1.0 for v in ious.values())
+
+    def test_ignore_pixels_excluded_from_union(self):
+        gt = np.zeros((4, 4), dtype=int)
+        gt[0:2, 0:2] = 1
+        gt[0, 0] = -1  # one GT pixel unlabeled
+        pred = np.zeros((4, 4), dtype=int)
+        pred[0:2, 0:2] = 1
+        prediction = extract_segments(pred)
+        ground_truth = extract_segments(gt)
+        class1_id = prediction.segments_of_class(1)[0]
+        value = segment_iou(prediction, ground_truth, class1_id)
+        assert abs(value - 1.0) < 1e-12
+
+    def test_multiple_gt_components_union(self):
+        # One predicted segment spanning two GT components of the same class.
+        gt = np.zeros((3, 7), dtype=int)
+        gt[1, 1:3] = 1
+        gt[1, 4:6] = 1
+        pred = np.zeros((3, 7), dtype=int)
+        pred[1, 1:6] = 1
+        prediction = extract_segments(pred)
+        ground_truth = extract_segments(gt)
+        class1_id = prediction.segments_of_class(1)[0]
+        value = segment_iou(prediction, ground_truth, class1_id)
+        # Intersection 4, union 5.
+        assert abs(value - 0.8) < 1e-12
+
+
+class TestFalsePositivesNegatives:
+    def test_detects_hallucination_as_fp(self):
+        gt, pred = _simple_pair()
+        prediction = extract_segments(pred)
+        ground_truth = extract_segments(gt)
+        fps = false_positive_segments(prediction, ground_truth)
+        fp_classes = {prediction.segments[sid].class_id for sid in fps}
+        assert 2 in fp_classes
+
+    def test_detects_missed_object_as_fn(self):
+        gt, _ = _simple_pair()
+        pred_missing = np.zeros_like(gt)  # object of class 1 completely missed
+        prediction = extract_segments(pred_missing)
+        ground_truth = extract_segments(gt)
+        fns = false_negative_segments(prediction, ground_truth)
+        fn_classes = {ground_truth.segments[sid].class_id for sid in fns}
+        assert 1 in fn_classes
+
+    def test_perfect_prediction_no_errors(self):
+        gt, _ = _simple_pair()
+        prediction = extract_segments(gt)
+        ground_truth = extract_segments(gt)
+        assert false_positive_segments(prediction, ground_truth) == []
+        assert false_negative_segments(prediction, ground_truth) == []
+
+
+class TestSegmentPrecisionRecall:
+    def test_perfect_prediction(self):
+        gt, _ = _simple_pair()
+        segmentation = extract_segments(gt)
+        precision, recall = segment_precision_recall(segmentation, segmentation, class_ids=[1])
+        assert all(v == 1.0 for v in precision.values())
+        assert all(v == 1.0 for v in recall.values())
+
+    def test_partial_overlap_values(self):
+        gt, pred = _simple_pair()
+        prediction = extract_segments(pred)
+        ground_truth = extract_segments(gt)
+        precision, recall = segment_precision_recall(prediction, ground_truth, class_ids=[1])
+        # Predicted class-1 segment: 9 pixels, 6 on GT class 1.
+        assert abs(list(precision.values())[0] - 6 / 9) < 1e-12
+        # GT class-1 segment: 9 pixels, 6 recovered.
+        assert abs(list(recall.values())[0] - 6 / 9) < 1e-12
+
+    def test_restricted_to_requested_classes(self):
+        gt, pred = _simple_pair()
+        prediction = extract_segments(pred)
+        ground_truth = extract_segments(gt)
+        precision, recall = segment_precision_recall(prediction, ground_truth, class_ids=[2])
+        assert all(prediction.segments[sid].class_id == 2 for sid in precision)
+        assert recall == {}  # no GT segment of class 2

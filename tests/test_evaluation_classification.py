@@ -1,0 +1,138 @@
+"""Tests for repro.evaluation.classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.classification import (
+    accuracy,
+    auroc,
+    confusion_matrix,
+    optimal_accuracy_threshold,
+    roc_curve,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([0, 1, 1, 0])
+        assert accuracy(y, y) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 0])) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_entries(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        matrix = confusion_matrix(y_true, y_pred)
+        assert matrix[0, 0] == 1  # TN
+        assert matrix[0, 1] == 1  # FP
+        assert matrix[1, 0] == 1  # FN
+        assert matrix[1, 1] == 2  # TP
+        assert matrix.sum() == 5
+
+
+class TestRocCurve:
+    def test_starts_at_origin_ends_at_one_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.4, 0.35, 0.8])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=50)
+        y[0], y[1] = 0, 1
+        scores = rng.uniform(size=50)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+
+class TestAuroc:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auroc(y, scores) == 1.0
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auroc(y, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=4000)
+        y[:2] = [0, 1]
+        scores = rng.uniform(size=4000)
+        assert abs(auroc(y, scores) - 0.5) < 0.05
+
+    def test_ties_counted_half(self):
+        y = np.array([0, 1])
+        scores = np.array([0.5, 0.5])
+        assert auroc(y, scores) == 0.5
+
+    def test_matches_trapezoidal_roc_area(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, size=200)
+        y[:2] = [0, 1]
+        scores = rng.normal(size=200) + y  # informative but noisy
+        fpr, tpr, _ = roc_curve(y, scores)
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        area = float(trapezoid(tpr, fpr))
+        assert abs(area - auroc(y, scores)) < 1e-9
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auroc(np.ones(5, dtype=int), np.random.uniform(size=5))
+
+    def test_invariant_under_monotone_transform(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=100)
+        y[:2] = [0, 1]
+        scores = rng.normal(size=100) + 2 * y
+        a = auroc(y, scores)
+        b = auroc(y, 1.0 / (1.0 + np.exp(-scores)))
+        assert abs(a - b) < 1e-12
+
+
+class TestOptimalThreshold:
+    def test_perfectly_separable(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        threshold, best = optimal_accuracy_threshold(y, scores)
+        assert best == 1.0
+        assert 0.2 < threshold <= 0.8
+
+    def test_uninformative_scores_majority_class(self):
+        y = np.array([0] * 8 + [1] * 2)
+        scores = np.full(10, 0.5)
+        _, best = optimal_accuracy_threshold(y, scores)
+        assert best == 0.8
+
+
+@given(
+    n=st.integers(min_value=4, max_value=120),
+    seed=st.integers(0, 10**6),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_auroc_symmetry(n, seed):
+    """AUROC(y, s) + AUROC(y, -s) == 1 (up to tie handling)."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    y[0], y[1] = 0, 1
+    scores = rng.normal(size=n)
+    assert abs(auroc(y, scores) + auroc(y, -scores) - 1.0) < 1e-9

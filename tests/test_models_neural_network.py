@@ -1,0 +1,102 @@
+"""Tests for repro.models.neural_network."""
+
+import numpy as np
+import pytest
+
+from repro.models.neural_network import MLPClassifier, MLPRegressor
+
+
+class TestMLPRegressor:
+    def test_fits_linear_function(self, rng):
+        x = rng.uniform(-1, 1, size=(300, 2))
+        y = 2 * x[:, 0] - x[:, 1]
+        model = MLPRegressor(hidden_layer_sizes=(16,), n_epochs=150, random_state=0).fit(x, y)
+        assert model.score(x, y) > 0.9
+
+    def test_fits_nonlinear_function(self, rng):
+        x = rng.uniform(-1, 1, size=(400, 1))
+        y = np.abs(x[:, 0])
+        model = MLPRegressor(hidden_layer_sizes=(16,), n_epochs=200, random_state=0).fit(x, y)
+        assert model.score(x, y) > 0.8
+
+    def test_loss_curve_decreases(self, rng):
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = x[:, 0] + x[:, 1]
+        model = MLPRegressor(n_epochs=50, random_state=0).fit(x, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_l2_penalty_shrinks_weights(self, rng):
+        x = rng.uniform(-1, 1, size=(200, 2))
+        y = 3 * x[:, 0]
+        free = MLPRegressor(l2_penalty=0.0, n_epochs=80, random_state=0).fit(x, y)
+        strong = MLPRegressor(l2_penalty=5.0, n_epochs=80, random_state=0).fit(x, y)
+        norm_free = sum(np.linalg.norm(w) for w in free.weights_)
+        norm_strong = sum(np.linalg.norm(w) for w in strong.weights_)
+        assert norm_strong < norm_free
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.uniform(size=(100, 2))
+        y = x[:, 0]
+        a = MLPRegressor(n_epochs=20, random_state=3).fit(x, y).predict(x)
+        b = MLPRegressor(n_epochs=20, random_state=3).fit(x, y).predict(x)
+        np.testing.assert_allclose(a, b)
+
+    def test_two_hidden_layers(self, rng):
+        x = rng.uniform(size=(100, 3))
+        y = x.sum(axis=1)
+        model = MLPRegressor(hidden_layer_sizes=(16, 8), n_epochs=60, random_state=0).fit(x, y)
+        assert np.isfinite(model.predict(x)).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_layer_sizes=())
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_layer_sizes=(0,))
+        with pytest.raises(ValueError):
+            MLPRegressor(l2_penalty=-1.0)
+        with pytest.raises(ValueError):
+            MLPRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            MLPRegressor(n_epochs=0)
+
+    def test_feature_mismatch_on_predict(self, rng):
+        x = rng.uniform(size=(50, 2))
+        model = MLPRegressor(n_epochs=5, random_state=0).fit(x, x[:, 0])
+        with pytest.raises(ValueError):
+            model.predict(rng.uniform(size=(5, 3)))
+
+
+class TestMLPClassifier:
+    def test_learns_separable_problem(self, rng):
+        x = rng.normal(size=(300, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = MLPClassifier(hidden_layer_sizes=(16,), n_epochs=100, random_state=0).fit(x, y)
+        assert model.score(x, y) > 0.9
+
+    def test_learns_xor_like_problem(self, rng):
+        x = rng.uniform(-1, 1, size=(500, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(int)
+        model = MLPClassifier(hidden_layer_sizes=(32,), n_epochs=250, learning_rate=5e-3,
+                              random_state=0).fit(x, y)
+        assert model.score(x, y) > 0.8
+
+    def test_probabilities_in_range(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = MLPClassifier(n_epochs=30, random_state=0).fit(x, y)
+        p = model.predict_proba(x)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_requires_binary_labels(self, rng):
+        with pytest.raises(ValueError):
+            MLPClassifier().fit(rng.normal(size=(10, 2)), np.arange(10))
+
+    def test_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            MLPClassifier().fit(rng.normal(size=(10, 2)), np.zeros(9, dtype=int))
+
+    def test_predict_threshold(self, rng):
+        x = rng.normal(size=(150, 2))
+        y = (x[:, 0] > 0).astype(int)
+        model = MLPClassifier(n_epochs=40, random_state=0).fit(x, y)
+        assert model.predict(x, threshold=0.1).sum() >= model.predict(x, threshold=0.9).sum()

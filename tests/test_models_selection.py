@@ -1,0 +1,73 @@
+"""Tests for repro.models.selection."""
+
+import numpy as np
+import pytest
+
+from repro.models.selection import k_fold_indices, train_test_split, train_val_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        x = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        x_train, x_test, y_train, y_test = train_test_split(x, y, test_fraction=0.2, random_state=0)
+        assert len(x_train) == 80 and len(x_test) == 20
+        assert len(y_train) == 80 and len(y_test) == 20
+
+    def test_alignment_preserved(self):
+        x = np.arange(50).reshape(-1, 1)
+        y = np.arange(50) * 10
+        x_train, x_test, y_train, y_test = train_test_split(x, y, random_state=1)
+        np.testing.assert_array_equal(x_train[:, 0] * 10, y_train)
+        np.testing.assert_array_equal(x_test[:, 0] * 10, y_test)
+
+    def test_no_overlap(self):
+        x = np.arange(30)
+        x_train, x_test = train_test_split(x, test_fraction=0.3, random_state=2)
+        assert set(x_train).isdisjoint(set(x_test))
+        assert set(x_train) | set(x_test) == set(range(30))
+
+    def test_deterministic_given_seed(self):
+        x = np.arange(40)
+        a_train, a_test = train_test_split(x, random_state=7)
+        b_train, b_test = train_test_split(x, random_state=7)
+        np.testing.assert_array_equal(a_train, b_train)
+        np.testing.assert_array_equal(a_test, b_test)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            train_test_split()
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(np.arange(10), np.arange(9))
+
+
+class TestTrainValTestSplit:
+    def test_partition(self):
+        train, val, test = train_val_test_split(100, (0.7, 0.1, 0.2), random_state=0)
+        assert len(train) == 70 and len(val) == 10 and len(test) == 20
+        assert sorted(np.concatenate([train, val, test]).tolist()) == list(range(100))
+
+    def test_requires_three_fractions(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(10, (0.5, 0.5))
+
+
+class TestKFold:
+    def test_folds_cover_everything(self):
+        folds = k_fold_indices(23, n_folds=5, random_state=0)
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(23))
+
+    def test_train_test_disjoint_per_fold(self):
+        for train, test in k_fold_indices(30, n_folds=3, random_state=1):
+            assert set(train).isdisjoint(set(test))
+            assert len(train) + len(test) == 30
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            k_fold_indices(10, n_folds=1)
+        with pytest.raises(ValueError):
+            k_fold_indices(3, n_folds=5)

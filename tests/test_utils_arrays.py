@@ -1,0 +1,198 @@
+"""Tests for repro.utils.arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.arrays import (
+    boundary_mask,
+    crop_center,
+    downsample_probability_field,
+    one_hot,
+    pad_to_shape,
+    renormalise_probabilities,
+    resize_bilinear,
+    resize_nearest,
+)
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        labels = np.array([[0, 1], [2, 1]])
+        encoded = one_hot(labels, 3)
+        assert encoded.shape == (2, 2, 3)
+        assert encoded[0, 0, 0] == 1.0
+        assert encoded[1, 0, 2] == 1.0
+        assert encoded.sum() == 4.0
+
+    def test_ignore_pixels_all_zero(self):
+        labels = np.array([[0, -1]])
+        encoded = one_hot(labels, 2)
+        assert encoded[0, 1].sum() == 0.0
+
+    def test_too_few_classes_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([[3]]), 3)
+
+
+class TestBoundaryMask:
+    def test_interior_of_uniform_map_is_not_boundary(self):
+        labels = np.zeros((5, 5), dtype=int)
+        mask = boundary_mask(labels)
+        assert not mask[2, 2]
+
+    def test_image_border_is_boundary(self):
+        labels = np.zeros((5, 5), dtype=int)
+        mask = boundary_mask(labels)
+        assert mask[0, :].all() and mask[:, 0].all()
+
+    def test_class_transition_is_boundary(self):
+        labels = np.zeros((5, 6), dtype=int)
+        labels[:, 3:] = 1
+        mask = boundary_mask(labels)
+        assert mask[2, 2] and mask[2, 3]
+        assert not mask[2, 1]
+
+    def test_invalid_connectivity(self):
+        with pytest.raises(ValueError):
+            boundary_mask(np.zeros((3, 3), dtype=int), connectivity=6)
+
+    def test_8_connectivity_marks_diagonal_transitions(self):
+        labels = np.zeros((4, 4), dtype=int)
+        labels[2:, 2:] = 1
+        mask4 = boundary_mask(labels, connectivity=4)
+        mask8 = boundary_mask(labels, connectivity=8)
+        assert mask8.sum() >= mask4.sum()
+
+
+class TestCropCenter:
+    def test_crop_shape(self):
+        array = np.arange(36).reshape(6, 6)
+        crop = crop_center(array, 4, 2)
+        assert crop.shape == (4, 2)
+
+    def test_center_content(self):
+        array = np.arange(25).reshape(5, 5)
+        crop = crop_center(array, 1, 1)
+        assert crop[0, 0] == 12
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            crop_center(np.zeros((4, 4)), 5, 2)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            crop_center(np.zeros((4, 4)), 0, 2)
+
+    def test_3d_crop_keeps_channels(self):
+        array = np.zeros((6, 6, 3))
+        assert crop_center(array, 2, 2).shape == (2, 2, 3)
+
+
+class TestResize:
+    def test_nearest_identity(self):
+        array = np.arange(12).reshape(3, 4)
+        np.testing.assert_array_equal(resize_nearest(array, 3, 4), array)
+
+    def test_nearest_upscale_shape(self):
+        assert resize_nearest(np.zeros((3, 4)), 6, 8).shape == (6, 8)
+
+    def test_bilinear_constant_field_preserved(self):
+        array = np.full((4, 5), 3.25)
+        out = resize_bilinear(array, 9, 11)
+        np.testing.assert_allclose(out, 3.25)
+
+    def test_bilinear_3d(self):
+        array = np.random.default_rng(0).uniform(size=(4, 4, 2))
+        out = resize_bilinear(array, 8, 8)
+        assert out.shape == (8, 8, 2)
+
+    def test_bilinear_range_preserved(self):
+        array = np.random.default_rng(1).uniform(size=(6, 6))
+        out = resize_bilinear(array, 13, 7)
+        assert out.min() >= array.min() - 1e-12
+        assert out.max() <= array.max() + 1e-12
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((3, 3)), 0, 3)
+        with pytest.raises(ValueError):
+            resize_nearest(np.zeros((3, 3)), 3, 0)
+
+
+class TestRenormalise:
+    def test_rows_sum_to_one(self):
+        field = np.random.default_rng(2).uniform(size=(5, 5, 7))
+        out = renormalise_probabilities(field)
+        np.testing.assert_allclose(out.sum(axis=2), 1.0)
+
+    def test_negative_values_clipped(self):
+        field = np.array([[[-1.0, 2.0]]])
+        out = renormalise_probabilities(field)
+        assert out[0, 0, 0] == 0.0
+        assert out[0, 0, 1] == 1.0
+
+    def test_all_zero_pixel_stays_finite(self):
+        field = np.zeros((1, 1, 3))
+        out = renormalise_probabilities(field)
+        assert np.all(np.isfinite(out))
+
+
+class TestDownsample:
+    def test_factor_one_is_copy(self):
+        field = np.full((4, 4, 2), 0.5)
+        out = downsample_probability_field(field, 1)
+        np.testing.assert_array_equal(out, field)
+        assert out is not field
+
+    def test_shape_halved(self):
+        field = np.full((8, 6, 2), 0.5)
+        assert downsample_probability_field(field, 2).shape == (4, 3, 2)
+
+    def test_remains_normalised(self):
+        rng = np.random.default_rng(3)
+        field = rng.uniform(size=(8, 8, 5))
+        field = field / field.sum(axis=2, keepdims=True)
+        out = downsample_probability_field(field, 2)
+        np.testing.assert_allclose(out.sum(axis=2), 1.0)
+
+    def test_too_large_factor_raises(self):
+        field = np.full((4, 4, 2), 0.5)
+        with pytest.raises(ValueError):
+            downsample_probability_field(field, 8)
+
+    def test_invalid_factor_raises(self):
+        field = np.full((4, 4, 2), 0.5)
+        with pytest.raises(ValueError):
+            downsample_probability_field(field, 0)
+
+
+class TestPadToShape:
+    def test_pads_symmetrically(self):
+        out = pad_to_shape(np.ones((2, 2)), 4, 4)
+        assert out.shape == (4, 4)
+        assert out.sum() == 4.0
+        assert out[1, 1] == 1.0
+
+    def test_3d(self):
+        assert pad_to_shape(np.ones((2, 2, 3)), 4, 6).shape == (4, 6, 3)
+
+    def test_shrinking_raises(self):
+        with pytest.raises(ValueError):
+            pad_to_shape(np.ones((4, 4)), 2, 6)
+
+
+@given(
+    height=st.integers(min_value=1, max_value=12),
+    width=st.integers(min_value=1, max_value=12),
+    target_h=st.integers(min_value=1, max_value=24),
+    target_w=st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_resize_nearest_values_come_from_source(height, width, target_h, target_w):
+    rng = np.random.default_rng(height * 100 + width)
+    array = rng.integers(0, 5, size=(height, width))
+    out = resize_nearest(array, target_h, target_w)
+    assert out.shape == (target_h, target_w)
+    assert set(np.unique(out)).issubset(set(np.unique(array)))
