@@ -13,6 +13,7 @@ run (EXPERIMENTS.md is written from these artifacts).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Iterable
@@ -49,6 +50,21 @@ def write_artifact(name: str, rows: Iterable[str]) -> Path:
     text = "\n".join(rows) + "\n"
     path.write_text(text)
     print(text)
+    return path
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a benchmark result to ``benchmarks/artifacts/BENCH_<name>.json``.
+
+    The standard shape is ``{"bench": <name>, "unit": "seconds", "cases":
+    [...]}`` plus free-form configuration keys, so successive runs of a bench
+    can be diffed to track the performance trajectory.
+    """
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / f"BENCH_{name}.json"
+    record = {"bench": name, "unit": "seconds"}
+    record.update(payload)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 suite, parity-fuzz suite, matching-benchmark smoke.
+#
+# Usage: scripts/ci.sh
+# Run from anywhere; all paths are resolved relative to the repository root.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "=== tier-1 test suite ==="
+python -m pytest -x -q
+
+echo "=== parity-fuzz suite ==="
+python -m pytest -q -m fuzz tests/test_segments_parity_fuzz.py
+
+echo "=== segment-matching benchmark (smoke) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_segment_matching.py --smoke
+
+echo "ci.sh: all stages passed"

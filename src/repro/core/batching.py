@@ -1,0 +1,71 @@
+"""Shared batched execution layer for the extraction pipelines.
+
+All three pipelines (`core.pipeline.MetaSegPipeline`,
+`timedynamic.pipeline.TimeDynamicPipeline`, `decision.pipeline.
+DecisionRuleComparison`) walk a stream of independent work items — images,
+video sequences, evaluation samples — through a pure per-item function.  This
+module provides the common machinery for doing that in batches:
+
+* :func:`chunked` splits any iterable into fixed-size chunks so results can be
+  streamed (and memory bounded) instead of accumulated in one Python list;
+* :func:`map_ordered` applies a function to every item, optionally fanning out
+  across a ``concurrent.futures`` thread pool, while **always** returning the
+  results in input order so batched runs are bit-identical to serial runs.
+
+Thread fan-out is safe for the simulated networks and the metric extractor:
+``predict_probabilities`` derives its RNG from ``(master_seed, index)`` per
+call and the extractor's scratch caches are written idempotently.  NumPy
+releases the GIL inside the heavy array kernels, so threads give real
+parallelism without requiring the work items to be picklable.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Default number of work items per streamed chunk.
+DEFAULT_CHUNK_SIZE = 8
+
+
+def chunked(items: Iterable[ItemT], chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[List[ItemT]]:
+    """Yield successive lists of at most ``chunk_size`` items.
+
+    Works on arbitrary (lazy) iterables; only one chunk is materialised at a
+    time, so a streaming producer is never fully buffered.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunk: List[ItemT] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) == chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def map_ordered(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    max_workers: Optional[int] = None,
+) -> List[ResultT]:
+    """Apply ``fn`` to every item, preserving input order in the results.
+
+    ``max_workers`` of ``None``, 0 or 1 runs serially (deterministic default);
+    larger values fan the items out across a thread pool.  Either way the
+    returned list is ordered like ``items``, so downstream reductions (metric
+    concatenation, accuracy sums) produce bit-identical results regardless of
+    the worker count.
+    """
+    items = list(items)
+    if max_workers is not None and max_workers < 0:
+        raise ValueError(f"max_workers must be >= 0, got {max_workers}")
+    if max_workers is None or max_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(max_workers, len(items))) as pool:
+        return list(pool.map(fn, items))

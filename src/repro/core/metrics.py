@@ -25,7 +25,7 @@ handful of array passes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,6 +83,24 @@ class SegmentMetricsExtractor:
             raise ValueError("connectivity must be 4 or 8")
         self.connectivity = connectivity
         self.ignore_id = ignore_id
+        # Per-shape scratch buffers (pixel coordinate grids) reused across
+        # frames; video pipelines process thousands of equally-sized frames,
+        # so the grids are allocated once per resolution instead of per frame.
+        self._grid_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _pixel_grids(self, height: int, width: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached (row, col) coordinate grids for a frame shape."""
+        key = (height, width)
+        grids = self._grid_cache.get(key)
+        if grids is None:
+            rows_grid, cols_grid = np.meshgrid(
+                np.arange(height, dtype=np.float64),
+                np.arange(width, dtype=np.float64),
+                indexing="ij",
+            )
+            grids = (rows_grid, cols_grid)
+            self._grid_cache[key] = grids
+        return grids
 
     # ------------------------------------------------------------------ ---
     def feature_names(self) -> List[str]:
@@ -219,9 +237,9 @@ class SegmentMetricsExtractor:
             is_thing[sid] = 1.0 if info.class_id in thing_ids else 0.0
         columns.append(class_per_segment)
         columns.append(is_thing)
-        rows_grid, cols_grid = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
-        centroid_row = _segment_mean(rows_grid.astype(np.float64)) / max(1, height - 1)
-        centroid_col = _segment_mean(cols_grid.astype(np.float64)) / max(1, width - 1)
+        rows_grid, cols_grid = self._pixel_grids(height, width)
+        centroid_row = _segment_mean(rows_grid) / max(1, height - 1)
+        centroid_col = _segment_mean(cols_grid) / max(1, width - 1)
         columns.append(centroid_row)
         columns.append(centroid_col)
         columns.append(_segment_mean(probs.max(axis=2)))            # pmax_mean

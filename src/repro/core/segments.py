@@ -11,6 +11,31 @@ that intersect k (eq. (2) of the paper):
 A predicted segment with IoU = 0 is a **false positive**; a ground-truth
 segment with zero intersection with predicted components of its class is a
 **false negative** ("completely overlooked").
+
+Contingency-table matching
+--------------------------
+
+All matching routines are vectorised through a *sparse contingency table*
+(:func:`repro.utils.connected_components.pair_contingency`): one
+``np.bincount`` pass over the paired ``(pred_component, gt_component)`` ids
+yields the intersection size of **every** predicted/ground-truth component
+pair at once.  From that table the per-segment quantities fall out without
+ever re-scanning the image:
+
+* ``|k ∩ K'|`` is the sum of the table entries of k against the intersecting
+  same-class ground-truth components (eq. (2)'s union K');
+* ``|k ∪ K'|`` is ``|k ∩ valid| + |K'| - |k ∩ K'|`` where ``valid`` masks the
+  annotated (non-ignore) pixels, so no union mask is ever materialised;
+* false negatives and category-level precision/recall use a second table of
+  ``(gt_component, predicted_label)`` pairs, again one pass.
+
+The previous per-segment implementations — O(n_segments × H×W) full-image
+scans — are retained verbatim as ``_reference_segment_ious``,
+``_reference_false_negative_segments``, ``_reference_false_positive_segments``
+and ``_reference_segment_precision_recall``; the parity-fuzz suite
+(``tests/test_segments_parity_fuzz.py``, run with ``pytest -m fuzz``) asserts
+the vectorised results are bitwise-equal to them on hundreds of randomized
+label maps.
 """
 
 from __future__ import annotations
@@ -20,8 +45,16 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.utils.connected_components import connected_components, component_slices
+from repro.utils.connected_components import (
+    component_slices,
+    connected_components,
+    pair_contingency,
+)
 from repro.utils.validation import check_label_map, check_same_shape
+
+#: Sentinel class id that never equals a real class (used in lookup tables for
+#: component ids that carry no segment, e.g. the background id 0).
+_NO_CLASS = np.iinfo(np.int64).min
 
 
 @dataclass(frozen=True)
@@ -82,37 +115,72 @@ class Segmentation:
         """Ids of all segments of the given class."""
         return [sid for sid, info in self.segments.items() if info.class_id == class_id]
 
+    def max_component_id(self) -> int:
+        """Largest component id present (0 when there are no segments)."""
+        upper = int(self.components.max()) if self.components.size else 0
+        if self.segments:
+            upper = max(upper, max(self.segments))
+        return upper
+
+    def class_lookup(self, size: Optional[int] = None) -> np.ndarray:
+        """Dense component-id → class-id lookup table.
+
+        Ids without a segment (notably the background id 0) map to a sentinel
+        that never compares equal to a real class.
+        """
+        upper = self.max_component_id() if size is None else size
+        table = np.full(upper + 1, _NO_CLASS, dtype=np.int64)
+        for sid, info in self.segments.items():
+            if 0 <= sid <= upper:
+                table[sid] = info.class_id
+        return table
+
 
 def extract_segments(labels: np.ndarray, connectivity: int = 8, ignore_id: int = -1) -> Segmentation:
     """Decompose a label map into connected components per class.
 
     All classes are decomposed at once: two neighbouring pixels belong to the
-    same segment iff they carry the same class label.
+    same segment iff they carry the same class label.  Sizes, centroids,
+    bounding boxes and class ids of all segments are computed in a handful of
+    full-image passes (``np.bincount`` / ``find_objects``) rather than one
+    scan per segment.
     """
     labels = check_label_map(labels)
     components, n_components = connected_components(
         labels, connectivity=connectivity, background=ignore_id
     )
     segments: Dict[int, SegmentInfo] = {}
-    boxes = component_slices(components)
-    sizes = np.bincount(components.ravel(), minlength=n_components + 1)
-    for segment_id in range(1, n_components + 1):
-        rows_slice, cols_slice = boxes[segment_id]
-        local = components[rows_slice, cols_slice] == segment_id
-        local_rows, local_cols = np.nonzero(local)
-        centroid = (
-            float(local_rows.mean() + rows_slice.start),
-            float(local_cols.mean() + cols_slice.start),
-        )
-        sample_row = local_rows[0] + rows_slice.start
-        sample_col = local_cols[0] + cols_slice.start
-        segments[segment_id] = SegmentInfo(
-            segment_id=segment_id,
-            class_id=int(labels[sample_row, sample_col]),
-            size=int(sizes[segment_id]),
-            bounding_box=(rows_slice.start, cols_slice.start, rows_slice.stop, cols_slice.stop),
-            centroid=centroid,
-        )
+    if n_components > 0:
+        n_bins = n_components + 1
+        flat = components.ravel()
+        width = components.shape[1]
+        sizes = np.bincount(flat, minlength=n_bins)
+        pixel_index = np.arange(flat.size)
+        row_sums = np.bincount(flat, weights=pixel_index // width, minlength=n_bins)
+        col_sums = np.bincount(flat, weights=pixel_index % width, minlength=n_bins)
+        component_ids, first_index = np.unique(flat, return_index=True)
+        class_ids = labels.ravel()[first_index]
+        boxes = component_slices(components)
+        for component_id, class_id in zip(component_ids, class_ids):
+            segment_id = int(component_id)
+            if segment_id == 0:
+                continue
+            rows_slice, cols_slice = boxes[segment_id]
+            size = int(sizes[segment_id])
+            # Centroid as mean of bounding-box-local coordinates plus the box
+            # offset: the coordinate sums are exact integers in float64, so
+            # this reproduces the per-segment np.mean()-based result bitwise.
+            centroid = (
+                float((row_sums[segment_id] - size * rows_slice.start) / size + rows_slice.start),
+                float((col_sums[segment_id] - size * cols_slice.start) / size + cols_slice.start),
+            )
+            segments[segment_id] = SegmentInfo(
+                segment_id=segment_id,
+                class_id=int(class_id),
+                size=size,
+                bounding_box=(rows_slice.start, cols_slice.start, rows_slice.stop, cols_slice.stop),
+                centroid=centroid,
+            )
     return Segmentation(labels=labels, components=components, segments=segments, connectivity=connectivity)
 
 
@@ -141,8 +209,198 @@ def segment_ious(
 ) -> Dict[int, float]:
     """Segment-wise IoU for all (or selected) predicted segments.
 
-    Returns a dict mapping predicted segment id → IoU(k) in [0, 1].
+    Vectorised over segments: two contingency-table passes replace the per
+    segment full-image scans (see the module docstring).  Returns a dict
+    mapping predicted segment id → IoU(k) in [0, 1]; a segment whose reference
+    union K' is empty — including the all-ignore ground-truth case where the
+    union of annotated pixels is zero — gets IoU 0.0.
     """
+    check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
+    if segment_ids is None:
+        segment_ids = prediction.segment_ids()
+    else:
+        for segment_id in segment_ids:
+            if segment_id not in prediction.segments:
+                raise KeyError(segment_id)
+    if not segment_ids:
+        return {}
+
+    n_pred = prediction.max_component_id()
+    n_gt = ground_truth.max_component_id()
+    pred_class = prediction.class_lookup(n_pred)
+    gt_class = ground_truth.class_lookup(n_gt)
+
+    valid_flat = (ground_truth.labels != ignore_id).ravel()
+    pred_flat = prediction.components.ravel()
+    gt_flat = ground_truth.components.ravel()
+
+    # Intersecting (k, k') pairs are determined on the raw component images —
+    # exactly like the reference, which collects candidates before masking out
+    # unannotated pixels — while intersection/union sizes only count valid
+    # (annotated) pixels.
+    pair_pred, pair_gt, _pair_counts = pair_contingency(pred_flat, gt_flat)
+    vpred_flat = pred_flat[valid_flat]
+    vgt_flat = gt_flat[valid_flat]
+    vpair_pred, vpair_gt, vpair_counts = pair_contingency(vpred_flat, vgt_flat)
+
+    matched = (
+        (pair_pred > 0)
+        & (pair_gt > 0)
+        & (pred_class[np.clip(pair_pred, 0, n_pred)] == gt_class[np.clip(pair_gt, 0, n_gt)])
+    )
+    vmatched = (
+        (vpair_pred > 0)
+        & (vpair_gt > 0)
+        & (pred_class[np.clip(vpair_pred, 0, n_pred)] == gt_class[np.clip(vpair_gt, 0, n_gt)])
+    )
+
+    n_bins = n_pred + 1
+    gt_valid_sizes = np.bincount(vgt_flat[vgt_flat > 0], minlength=n_gt + 1).astype(np.float64)
+    pred_valid_sizes = np.bincount(vpred_flat, minlength=n_bins).astype(np.float64)
+    intersections = np.bincount(
+        vpair_pred[vmatched], weights=vpair_counts[vmatched], minlength=n_bins
+    )
+    # |K'| per predicted segment: each intersecting GT component appears in
+    # exactly one table row per predicted segment, so its valid size is
+    # counted once.
+    reference_sizes = np.bincount(
+        pair_pred[matched], weights=gt_valid_sizes[pair_gt[matched]], minlength=n_bins
+    )
+    has_reference = np.zeros(n_bins, dtype=bool)
+    has_reference[pair_pred[matched]] = True
+
+    unions = pred_valid_sizes + reference_sizes - intersections
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ious = np.where(
+            has_reference & (unions > 0), intersections / np.maximum(unions, 1.0), 0.0
+        )
+    return {segment_id: float(ious[segment_id]) for segment_id in segment_ids}
+
+
+def false_positive_segments(
+    prediction: Segmentation, ground_truth: Segmentation, ignore_id: int = -1
+) -> List[int]:
+    """Ids of predicted segments with zero intersection with same-class ground truth."""
+    ious = segment_ious(prediction, ground_truth, ignore_id=ignore_id)
+    return sorted(sid for sid, value in ious.items() if value == 0.0)
+
+
+def false_negative_segments(
+    prediction: Segmentation, ground_truth: Segmentation, ignore_id: int = -1
+) -> List[int]:
+    """Ids of ground-truth segments completely overlooked by the prediction.
+
+    A ground-truth segment of class c is a false negative iff no pixel of it
+    is predicted as class c (zero intersection with the predicted class mask).
+    Computed from one ``(gt_component, predicted_label)`` contingency pass.
+    """
+    check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
+    n_gt = ground_truth.max_component_id()
+    gt_class = ground_truth.class_lookup(n_gt)
+    pair_gt, pair_label, _counts = pair_contingency(
+        ground_truth.components, prediction.labels
+    )
+    covered = (pair_gt > 0) & (pair_label == gt_class[np.clip(pair_gt, 0, n_gt)])
+    detected = np.zeros(n_gt + 1, dtype=bool)
+    detected[pair_gt[covered]] = True
+    return sorted(
+        sid
+        for sid, info in ground_truth.segments.items()
+        if info.class_id != ignore_id and not detected[sid]
+    )
+
+
+def segment_precision_recall(
+    prediction: Segmentation,
+    ground_truth: Segmentation,
+    class_ids: List[int],
+    ignore_id: int = -1,
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """Segment-wise precision and recall restricted to the given classes.
+
+    Used by the decision-rule experiments of Section IV (Fig. 5).  The
+    matching is performed at the level of the given class *set* (a category
+    such as "human" = {person, rider}), as in the paper:
+
+    * precision of a *predicted* segment k whose class is in the set is the
+      fraction of its pixels whose ground truth also lies in the set;
+    * recall of a *ground-truth* segment k' whose class is in the set is the
+      fraction of its pixels predicted as any class of the set.
+
+    Both directions are computed from one contingency-table pass each
+    (predicted components × ground-truth labels and ground-truth components ×
+    predicted labels).  A predicted segment every pixel of which is
+    unannotated (``ignore_id``) has no defined precision and is **silently
+    skipped** — it appears in neither returned dict.
+
+    Returns
+    -------
+    precision:
+        Dict predicted-segment-id → precision, for predicted segments whose
+        class is in *class_ids*.
+    recall:
+        Dict ground-truth-segment-id → recall, for ground-truth segments whose
+        class is in *class_ids*.
+    """
+    check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
+    class_set = set(int(c) for c in class_ids)
+    class_list = np.array(sorted(class_set), dtype=np.int64)
+    valid_flat = (ground_truth.labels != ignore_id).ravel()
+
+    n_pred = prediction.max_component_id()
+    pred_flat = prediction.components.ravel()
+    vpred_flat = pred_flat[valid_flat]
+    vgt_labels_flat = ground_truth.labels.ravel()[valid_flat]
+    pair_pred, pair_gt_label, pair_counts = pair_contingency(vpred_flat, vgt_labels_flat)
+    pred_denoms = np.bincount(pair_pred, weights=pair_counts, minlength=n_pred + 1)
+    in_set = np.isin(pair_gt_label, class_list)
+    pred_hits = np.bincount(
+        pair_pred[in_set], weights=pair_counts[in_set], minlength=n_pred + 1
+    )
+    precision: Dict[int, float] = {}
+    for segment_id, info in prediction.segments.items():
+        if info.class_id not in class_set:
+            continue
+        denom = int(pred_denoms[segment_id]) if segment_id <= n_pred else 0
+        if denom == 0:
+            continue
+        precision[segment_id] = int(pred_hits[segment_id]) / denom
+
+    n_gt = ground_truth.max_component_id()
+    pair_gt, pair_pred_label, pair_counts = pair_contingency(
+        ground_truth.components, prediction.labels
+    )
+    gt_denoms = np.bincount(pair_gt, weights=pair_counts, minlength=n_gt + 1)
+    in_set = np.isin(pair_pred_label, class_list)
+    gt_hits = np.bincount(
+        pair_gt[in_set], weights=pair_counts[in_set], minlength=n_gt + 1
+    )
+    recall: Dict[int, float] = {}
+    for segment_id, info in ground_truth.segments.items():
+        if info.class_id not in class_set:
+            continue
+        denom = int(gt_denoms[segment_id]) if segment_id <= n_gt else 0
+        if denom == 0:
+            continue
+        recall[segment_id] = int(gt_hits[segment_id]) / denom
+    return precision, recall
+
+
+# --------------------------------------------------------------------------- -
+# Reference implementations (per-segment full-image scans).
+#
+# These are the original O(n_segments × H×W) routines the vectorised fast
+# paths above replaced.  They are kept as the ground truth of the parity-fuzz
+# suite and for the matching benchmark; do not use them on hot paths.
+
+
+def _reference_segment_ious(
+    prediction: Segmentation,
+    ground_truth: Segmentation,
+    ignore_id: int = -1,
+    segment_ids: Optional[List[int]] = None,
+) -> Dict[int, float]:
+    """Per-segment-loop reference for :func:`segment_ious`."""
     check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
     gt_labels = ground_truth.labels
     gt_components = ground_truth.components
@@ -175,22 +433,18 @@ def segment_ious(
     return result
 
 
-def false_positive_segments(
+def _reference_false_positive_segments(
     prediction: Segmentation, ground_truth: Segmentation, ignore_id: int = -1
 ) -> List[int]:
-    """Ids of predicted segments with zero intersection with same-class ground truth."""
-    ious = segment_ious(prediction, ground_truth, ignore_id=ignore_id)
+    """Per-segment-loop reference for :func:`false_positive_segments`."""
+    ious = _reference_segment_ious(prediction, ground_truth, ignore_id=ignore_id)
     return sorted(sid for sid, value in ious.items() if value == 0.0)
 
 
-def false_negative_segments(
+def _reference_false_negative_segments(
     prediction: Segmentation, ground_truth: Segmentation, ignore_id: int = -1
 ) -> List[int]:
-    """Ids of ground-truth segments completely overlooked by the prediction.
-
-    A ground-truth segment of class c is a false negative iff no pixel of it
-    is predicted as class c (zero intersection with the predicted class mask).
-    """
+    """Per-segment-loop reference for :func:`false_negative_segments`."""
     check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
     pred_labels = prediction.labels
     out: List[int] = []
@@ -203,32 +457,13 @@ def false_negative_segments(
     return sorted(out)
 
 
-def segment_precision_recall(
+def _reference_segment_precision_recall(
     prediction: Segmentation,
     ground_truth: Segmentation,
     class_ids: List[int],
     ignore_id: int = -1,
 ) -> Tuple[Dict[int, float], Dict[int, float]]:
-    """Segment-wise precision and recall restricted to the given classes.
-
-    Used by the decision-rule experiments of Section IV (Fig. 5).  The
-    matching is performed at the level of the given class *set* (a category
-    such as "human" = {person, rider}), as in the paper:
-
-    * precision of a *predicted* segment k whose class is in the set is the
-      fraction of its pixels whose ground truth also lies in the set;
-    * recall of a *ground-truth* segment k' whose class is in the set is the
-      fraction of its pixels predicted as any class of the set.
-
-    Returns
-    -------
-    precision:
-        Dict predicted-segment-id → precision, for predicted segments whose
-        class is in *class_ids*.
-    recall:
-        Dict ground-truth-segment-id → recall, for ground-truth segments whose
-        class is in *class_ids*.
-    """
+    """Per-segment-loop reference for :func:`segment_precision_recall`."""
     check_same_shape(prediction.labels, ground_truth.labels, "prediction", "ground_truth")
     class_set = set(int(c) for c in class_ids)
     class_list = sorted(class_set)

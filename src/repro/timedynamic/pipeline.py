@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batching import map_ordered
 from repro.core.dataset import MetricsDataset
 from repro.core.meta_classification import MetaClassifier
 from repro.core.meta_regression import MetaRegressor
@@ -125,37 +126,49 @@ class TimeDynamicPipeline:
         )
 
     # ------------------------------------------------------------------ ---
-    def process_dataset(self, dataset: KittiLikeDataset) -> List[SequenceMetrics]:
-        """Run inference, pseudo labelling, metric extraction and tracking."""
-        sequences: List[SequenceMetrics] = []
+    def _process_sequence(self, dataset: KittiLikeDataset, sequence_index: int) -> SequenceMetrics:
+        """Inference, pseudo labelling, extraction and tracking for one sequence."""
         frames_per_sequence = dataset.n_frames_per_sequence
-        for sequence_index in range(dataset.n_sequences):
-            samples = dataset.samples(sequence_index)
-            probability_fields = []
-            real_gt: List[Optional[np.ndarray]] = []
-            pseudo_gt: List[Optional[np.ndarray]] = []
-            for sample in samples:
-                frame_id = global_frame_index(
-                    sequence_index, sample.frame_index, frames_per_sequence
-                )
-                probability_fields.append(
-                    self.test_network.predict_probabilities(sample.labels, index=frame_id)
-                )
-                real_gt.append(sample.labels if sample.has_ground_truth else None)
-                if sample.has_ground_truth:
-                    # Pseudo ground truth is only generated where no real
-                    # ground truth exists (as in the paper).
-                    pseudo_gt.append(None)
-                else:
-                    pseudo_gt.append(
-                        self.reference_network.predict_labels(sample.labels, index=frame_id)
-                    )
-            sequences.append(
-                self.builder.process_sequence(
-                    probability_fields, real_gt, pseudo_gt, sequence_id=sequence_index
-                )
+        samples = dataset.samples(sequence_index)
+        probability_fields = []
+        real_gt: List[Optional[np.ndarray]] = []
+        pseudo_gt: List[Optional[np.ndarray]] = []
+        for sample in samples:
+            frame_id = global_frame_index(
+                sequence_index, sample.frame_index, frames_per_sequence
             )
-        return sequences
+            probability_fields.append(
+                self.test_network.predict_probabilities(sample.labels, index=frame_id)
+            )
+            real_gt.append(sample.labels if sample.has_ground_truth else None)
+            if sample.has_ground_truth:
+                # Pseudo ground truth is only generated where no real
+                # ground truth exists (as in the paper).
+                pseudo_gt.append(None)
+            else:
+                pseudo_gt.append(
+                    self.reference_network.predict_labels(sample.labels, index=frame_id)
+                )
+        return self.builder.process_sequence(
+            probability_fields, real_gt, pseudo_gt, sequence_id=sequence_index
+        )
+
+    def process_dataset(
+        self, dataset: KittiLikeDataset, max_workers: Optional[int] = None
+    ) -> List[SequenceMetrics]:
+        """Run inference, pseudo labelling, metric extraction and tracking.
+
+        Sequences are independent of each other (network RNG is derived from
+        the global frame index, tracking state lives per sequence), so with
+        ``max_workers`` > 1 they are processed on a thread pool via the shared
+        batched-execution layer; the returned list is ordered by sequence
+        index and bit-identical to the serial run.
+        """
+        return map_ordered(
+            lambda sequence_index: self._process_sequence(dataset, sequence_index),
+            range(dataset.n_sequences),
+            max_workers=max_workers,
+        )
 
     # ------------------------------------------------------------------ ---
     def _make_classifier(self, method: str, seed: int) -> MetaClassifier:

@@ -167,6 +167,52 @@ def connected_components(
     return _normalise_ids(raw)
 
 
+def pair_contingency(
+    a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sparse contingency table of two aligned integer arrays.
+
+    Counts, for every pair of values ``(a[i], b[i])``, how often it occurs.
+    This is the single-pass primitive behind the vectorised segment matching:
+    with ``a`` the predicted component image and ``b`` the ground-truth
+    component image, the table holds every pairwise intersection size at once.
+
+    Returns
+    -------
+    a_values, b_values, counts:
+        Aligned 1-D arrays; ``counts[i]`` is the number of positions where
+        ``a == a_values[i]`` and ``b == b_values[i]``.  Rows are sorted by
+        ``(a_value, b_value)``.
+    """
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"arrays must be aligned, got sizes {a.size} and {b.size}")
+    empty = np.zeros(0, dtype=np.int64)
+    if a.size == 0:
+        return empty, empty.copy(), empty.copy()
+    a_min = int(a.min())
+    b_min = int(b.min())
+    a_shift = a.astype(np.int64) - a_min
+    b_shift = b.astype(np.int64) - b_min
+    span = int(b_shift.max()) + 1
+    codes = a_shift * span + b_shift
+    n_codes = (int(a_shift.max()) + 1) * span
+    # Dense bincount is one O(size) pass but allocates the full table; fall
+    # back to sort-based np.unique when the value ranges make it too large.
+    if n_codes <= max(1 << 20, 4 * a.size):
+        dense = np.bincount(codes, minlength=n_codes)
+        nonzero = np.nonzero(dense)[0]
+        counts = dense[nonzero].astype(np.int64)
+        code_values = nonzero
+    else:
+        code_values, counts = np.unique(codes, return_counts=True)
+        counts = counts.astype(np.int64)
+    a_values = code_values // span + a_min
+    b_values = code_values % span + b_min
+    return a_values.astype(np.int64), b_values.astype(np.int64), counts
+
+
 def component_sizes(components: np.ndarray) -> np.ndarray:
     """Pixel counts per component id (index 0 is the background count)."""
     components = np.asarray(components)
@@ -182,8 +228,7 @@ def relabel_sequential(components: np.ndarray) -> Tuple[np.ndarray, int]:
     unique = unique[unique != 0]
     max_id = int(components.max()) if components.size else 0
     mapping = np.zeros(max_id + 1 if max_id >= 0 else 1, dtype=np.int64)
-    for new_id, old_id in enumerate(unique, start=1):
-        mapping[old_id] = new_id
+    mapping[unique] = np.arange(1, unique.size + 1, dtype=np.int64)
     out = np.where(components > 0, mapping[np.clip(components, 0, None)], 0)
     return out, int(unique.size)
 

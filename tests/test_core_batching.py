@@ -1,0 +1,132 @@
+"""Tests for the shared batched execution layer and the batched pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batching import chunked, map_ordered
+
+
+class TestChunked:
+    def test_even_chunks(self):
+        assert list(chunked(range(6), 2)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_remainder_chunk(self):
+        assert list(chunked(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_empty_iterable(self):
+        assert list(chunked([], 3)) == []
+
+    def test_lazy_iterable(self):
+        def gen():
+            yield from range(4)
+
+        assert list(chunked(gen(), 3)) == [[0, 1, 2], [3]]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(chunked(range(3), 0))
+
+
+class TestMapOrdered:
+    def test_serial_preserves_order(self):
+        assert map_ordered(lambda x: x * x, [3, 1, 2]) == [9, 1, 4]
+
+    def test_threaded_preserves_order(self):
+        items = list(range(50))
+        assert map_ordered(lambda x: x + 1, items, max_workers=4) == [x + 1 for x in items]
+
+    def test_single_item_runs_serially(self):
+        assert map_ordered(lambda x: x, [7], max_workers=8) == [7]
+
+    def test_negative_workers_raises(self):
+        with pytest.raises(ValueError):
+            map_ordered(lambda x: x, [1, 2], max_workers=-1)
+
+
+def _assert_datasets_identical(left, right):
+    assert left.feature_names == right.feature_names
+    np.testing.assert_array_equal(left.features, right.features)
+    np.testing.assert_array_equal(left.segment_ids, right.segment_ids)
+    np.testing.assert_array_equal(left.class_ids, right.class_ids)
+    assert list(left.image_ids) == list(right.image_ids)
+    np.testing.assert_array_equal(left.target_iou(), right.target_iou())
+
+
+class TestBatchedExtraction:
+    def test_batched_matches_serial(self, metaseg_pipeline, cityscapes_like):
+        samples = cityscapes_like.val_samples()
+        serial = metaseg_pipeline.extract_dataset(samples)
+        for chunk_size, max_workers in ((1, None), (3, None), (2, 2), (8, 4)):
+            batched = metaseg_pipeline.extract_dataset_batched(
+                samples, chunk_size=chunk_size, max_workers=max_workers
+            )
+            _assert_datasets_identical(serial, batched)
+
+    def test_streaming_parts_respect_chunk_size(self, metaseg_pipeline, cityscapes_like):
+        samples = cityscapes_like.val_samples()
+        parts = list(metaseg_pipeline.iter_extract_batched(samples, chunk_size=3))
+        assert len(parts) == (len(samples) + 2) // 3
+        images_per_part = [len(set(part.image_ids)) for part in parts]
+        assert images_per_part == [3] * (len(samples) // 3) + (
+            [len(samples) % 3] if len(samples) % 3 else []
+        )
+
+    def test_index_offset_is_respected(self, metaseg_pipeline, cityscapes_like):
+        samples = cityscapes_like.val_samples()[:2]
+        offset = metaseg_pipeline.extract_dataset(samples, index_offset=5)
+        batched = metaseg_pipeline.extract_dataset_batched(
+            samples, index_offset=5, chunk_size=1, max_workers=2
+        )
+        _assert_datasets_identical(offset, batched)
+
+    def test_no_samples_raises(self, metaseg_pipeline):
+        with pytest.raises(ValueError):
+            metaseg_pipeline.extract_dataset_batched([])
+
+
+class TestBatchedDecisionCompare:
+    def test_parallel_compare_matches_serial(self, cityscapes_like, xception_network):
+        from repro.decision.pipeline import DecisionRuleComparison
+
+        comparison = DecisionRuleComparison(xception_network)
+        comparison.fit_priors(cityscapes_like.train_samples())
+        samples = cityscapes_like.val_samples()
+        serial = comparison.compare(samples)
+        parallel = comparison.compare(samples, max_workers=4)
+        for rule in serial.per_rule:
+            assert (
+                serial.per_rule[rule].precision_values
+                == parallel.per_rule[rule].precision_values
+            )
+            assert (
+                serial.per_rule[rule].recall_values
+                == parallel.per_rule[rule].recall_values
+            )
+            assert serial.pixel_accuracy[rule] == parallel.pixel_accuracy[rule]
+
+
+class TestBatchedTimeDynamic:
+    @pytest.mark.slow
+    def test_parallel_process_dataset_matches_serial(
+        self, kitti_like, mobilenet_network, xception_network
+    ):
+        from repro.timedynamic.pipeline import TimeDynamicPipeline
+
+        pipeline = TimeDynamicPipeline(mobilenet_network, xception_network)
+        serial = pipeline.process_dataset(kitti_like)
+        parallel = pipeline.process_dataset(kitti_like, max_workers=2)
+        assert len(serial) == len(parallel)
+        for left, right in zip(serial, parallel):
+            assert left.sequence_id == right.sequence_id
+            assert left.n_frames == right.n_frames
+            assert left.track_assignments == right.track_assignments
+            for frame_left, frame_right in zip(left.frames, right.frames):
+                np.testing.assert_array_equal(
+                    frame_left.dataset.features, frame_right.dataset.features
+                )
+                if frame_left.dataset.has_targets:
+                    np.testing.assert_array_equal(
+                        frame_left.dataset.target_iou(), frame_right.dataset.target_iou()
+                    )

@@ -1,0 +1,173 @@
+"""Parity-fuzz harness for the vectorized contingency-table segment matching.
+
+Every case builds a seeded random (ground truth, prediction) label-map pair —
+varying class counts, ignore regions, border-touching segments, shifted and
+noisy predictions that span multiple GT components — and asserts the
+vectorized matchers return **bitwise-identical** results to the retained
+``_reference_*`` per-segment-loop implementations.  Floats are compared with
+``==`` (no tolerance), which for non-NaN values is exactly bitwise equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.segments import (
+    _reference_false_negative_segments,
+    _reference_false_positive_segments,
+    _reference_segment_ious,
+    _reference_segment_precision_recall,
+    extract_segments,
+    false_negative_segments,
+    false_positive_segments,
+    segment_ious,
+    segment_precision_recall,
+)
+
+#: Number of generated fuzz cases (the issue asks for >= 200).
+N_CASES = 220
+
+IGNORE_ID = -1
+
+
+def _random_case(seed: int):
+    """One seeded random ground-truth / prediction pair plus case parameters."""
+    rng = np.random.default_rng(seed)
+    cell = int(rng.integers(2, 6))
+    grid_h = int(rng.integers(3, 11))
+    grid_w = int(rng.integers(3, 11))
+    n_classes = int(rng.integers(1, 7))
+
+    # Chunky segments via block upsampling of a coarse class grid; blocks of
+    # equal class merge into larger multi-cell components and routinely touch
+    # the image border.
+    gt_grid = rng.integers(0, n_classes, size=(grid_h, grid_w))
+    gt = np.kron(gt_grid, np.ones((cell, cell), dtype=np.int64)).astype(np.int64)
+    height, width = gt.shape
+
+    # Ignore regions: random rectangles of unannotated pixels, occasionally an
+    # entirely unannotated frame (the union == 0 edge case).
+    if rng.uniform() < 0.15:
+        gt[:, :] = IGNORE_ID
+    elif rng.uniform() < 0.6:
+        for _ in range(int(rng.integers(1, 4))):
+            r0 = int(rng.integers(0, height))
+            c0 = int(rng.integers(0, width))
+            r1 = int(rng.integers(r0, height)) + 1
+            c1 = int(rng.integers(c0, width)) + 1
+            gt[r0:r1, c0:c1] = IGNORE_ID
+
+    # Prediction: ground truth with labels everywhere (networks always emit a
+    # class), optionally shifted (creates partial overlaps and predictions
+    # spanning several GT components), plus rectangle and salt noise.
+    pred = np.where(gt == IGNORE_ID, rng.integers(0, n_classes, size=gt.shape), gt)
+    if rng.uniform() < 0.5:
+        shift_r = int(rng.integers(-cell, cell + 1))
+        shift_c = int(rng.integers(-cell, cell + 1))
+        pred = np.roll(pred, (shift_r, shift_c), axis=(0, 1))
+    for _ in range(int(rng.integers(0, 4))):
+        r0 = int(rng.integers(0, height))
+        c0 = int(rng.integers(0, width))
+        r1 = min(height, r0 + int(rng.integers(1, 2 * cell + 1)))
+        c1 = min(width, c0 + int(rng.integers(1, 2 * cell + 1)))
+        pred[r0:r1, c0:c1] = int(rng.integers(0, n_classes))
+    if rng.uniform() < 0.5:
+        n_noise = int(rng.integers(1, 12))
+        noise_rows = rng.integers(0, height, size=n_noise)
+        noise_cols = rng.integers(0, width, size=n_noise)
+        pred[noise_rows, noise_cols] = rng.integers(0, n_classes, size=n_noise)
+
+    connectivity = 4 if rng.uniform() < 0.3 else 8
+    return gt, pred.astype(np.int64), n_classes, connectivity, rng
+
+
+def _decompose(gt: np.ndarray, pred: np.ndarray, connectivity: int):
+    prediction = extract_segments(pred, connectivity=connectivity)
+    ground_truth = extract_segments(gt, connectivity=connectivity, ignore_id=IGNORE_ID)
+    return prediction, ground_truth
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_segment_iou_parity(seed):
+    gt, pred, _n_classes, connectivity, _rng = _random_case(seed)
+    prediction, ground_truth = _decompose(gt, pred, connectivity)
+    fast = segment_ious(prediction, ground_truth, ignore_id=IGNORE_ID)
+    reference = _reference_segment_ious(prediction, ground_truth, ignore_id=IGNORE_ID)
+    assert list(fast) == list(reference)
+    for segment_id in reference:
+        assert fast[segment_id] == reference[segment_id], (
+            f"seed={seed} segment={segment_id}: "
+            f"{fast[segment_id]!r} != {reference[segment_id]!r}"
+        )
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_false_positive_negative_parity(seed):
+    gt, pred, _n_classes, connectivity, _rng = _random_case(seed)
+    prediction, ground_truth = _decompose(gt, pred, connectivity)
+    assert false_positive_segments(
+        prediction, ground_truth, ignore_id=IGNORE_ID
+    ) == _reference_false_positive_segments(prediction, ground_truth, ignore_id=IGNORE_ID)
+    assert false_negative_segments(
+        prediction, ground_truth, ignore_id=IGNORE_ID
+    ) == _reference_false_negative_segments(prediction, ground_truth, ignore_id=IGNORE_ID)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_precision_recall_parity(seed):
+    gt, pred, n_classes, connectivity, rng = _random_case(seed)
+    prediction, ground_truth = _decompose(gt, pred, connectivity)
+    n_chosen = int(rng.integers(1, n_classes + 1))
+    class_ids = [int(c) for c in rng.choice(n_classes, size=n_chosen, replace=False)]
+    fast_p, fast_r = segment_precision_recall(
+        prediction, ground_truth, class_ids=class_ids, ignore_id=IGNORE_ID
+    )
+    ref_p, ref_r = _reference_segment_precision_recall(
+        prediction, ground_truth, class_ids=class_ids, ignore_id=IGNORE_ID
+    )
+    assert list(fast_p) == list(ref_p)
+    assert list(fast_r) == list(ref_r)
+    for segment_id in ref_p:
+        assert fast_p[segment_id] == ref_p[segment_id], f"seed={seed} precision {segment_id}"
+    for segment_id in ref_r:
+        assert fast_r[segment_id] == ref_r[segment_id], f"seed={seed} recall {segment_id}"
+
+
+@pytest.mark.fuzz
+def test_case_generator_covers_edge_shapes():
+    """The fuzz corpus actually exercises the advertised edge cases."""
+    saw_all_ignore = saw_partial_ignore = saw_multi_component_union = False
+    saw_border_segment = False
+    for seed in range(N_CASES):
+        gt, pred, _n_classes, connectivity, _rng = _random_case(seed)
+        if np.all(gt == IGNORE_ID):
+            saw_all_ignore = True
+        elif np.any(gt == IGNORE_ID):
+            saw_partial_ignore = True
+        prediction, ground_truth = _decompose(gt, pred, connectivity)
+        border = np.concatenate([
+            prediction.components[0, :], prediction.components[-1, :],
+            prediction.components[:, 0], prediction.components[:, -1],
+        ])
+        if np.any(border > 0):
+            saw_border_segment = True
+        # A predicted segment intersecting >= 2 same-class GT components is
+        # exactly the multi-component union K' of eq. (2).
+        gt_class = ground_truth.class_lookup()
+        for segment_id, info in prediction.segments.items():
+            mask = prediction.components == segment_id
+            gt_ids = np.unique(ground_truth.components[mask])
+            gt_ids = gt_ids[(gt_ids > 0) & (gt_class[gt_ids] == info.class_id)]
+            if gt_ids.size >= 2:
+                saw_multi_component_union = True
+                break
+        if saw_all_ignore and saw_partial_ignore and saw_multi_component_union and saw_border_segment:
+            return
+    assert saw_all_ignore, "no all-ignore ground truth generated"
+    assert saw_partial_ignore, "no partial ignore regions generated"
+    assert saw_multi_component_union, "no multi-component GT union generated"
+    assert saw_border_segment, "no border-touching segment generated"
