@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite, parity-fuzz suite, matching-benchmark smoke.
+# CI entry point: tier-1 suite, parity-fuzz suite, benchmark smokes, CLI smoke.
 #
 # Usage: scripts/ci.sh
 # Run from anywhere; all paths are resolved relative to the repository root.
@@ -18,5 +18,13 @@ python -m pytest -q -m fuzz tests/test_segments_parity_fuzz.py
 echo "=== segment-matching benchmark (smoke) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
     python benchmarks/bench_segment_matching.py --smoke
+
+echo "=== runner-overhead benchmark (smoke) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_runner_overhead.py --smoke
+
+echo "=== experiment CLI (smoke) ==="
+python -m repro list
+python -m repro run examples/configs/metaseg_small.json
 
 echo "ci.sh: all stages passed"

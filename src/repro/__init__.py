@@ -92,6 +92,22 @@ from repro.decision import (
     DecisionRuleResult,
 )
 
+# Unified experiment API --------------------------------------------------------
+# Imported last: the api.runner module builds on the pipelines above, and the
+# registries are populated by the imports above as a side effect.
+from repro.api import (
+    ExperimentConfig,
+    DataConfig,
+    NetworkConfig,
+    ExtractionConfig,
+    MetaModelConfig,
+    EvalConfig,
+    ExperimentReport,
+    Runner,
+    run_experiment,
+    all_registries,
+)
+
 __all__ = [
     "__version__",
     # substrate
@@ -139,4 +155,15 @@ __all__ = [
     "cost_based_rule",
     "DecisionRuleComparison",
     "DecisionRuleResult",
+    # unified experiment API
+    "ExperimentConfig",
+    "DataConfig",
+    "NetworkConfig",
+    "ExtractionConfig",
+    "MetaModelConfig",
+    "EvalConfig",
+    "ExperimentReport",
+    "Runner",
+    "run_experiment",
+    "all_registries",
 ]

@@ -1,0 +1,141 @@
+"""Command-line entry point: ``python -m repro``.
+
+Three subcommands expose the unified experiment API headlessly:
+
+* ``python -m repro run config.json``       — execute an experiment config
+  and print its Table-style summary (``--output report.json`` writes the
+  full report, ``--timings`` includes wall-clock stage timings);
+* ``python -m repro list``                  — show every registry and its
+  entries (``--json`` for machine-readable output);
+* ``python -m repro describe KIND [NAME]``  — document one registry or one
+  entry (e.g. ``python -m repro describe networks mobilenetv2``).
+
+Reports are deterministic: the same config (and therefore the same single
+seed) produces bitwise-identical ``--output`` files, which makes sharded and
+scripted reproduction runs diffable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.api.config import ExperimentConfig
+from repro.api.registry import RegistryError, all_registries
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api.runner import Runner
+
+    path = Path(args.config)
+    try:
+        config = ExperimentConfig.from_json(path.read_text())
+    except OSError as exc:
+        print(f"error: cannot read config {path}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"error: invalid config {path}: {exc}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        config.seed = args.seed
+    report = Runner().run(config)
+    print("\n".join(report.summary_rows()))
+    if args.output:
+        output = Path(args.output)
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(report.to_json(include_timings=args.timings) + "\n")
+        print(f"report written to {output}")
+    elif args.timings:
+        for stage, seconds in report.timings.items():
+            print(f"timing {stage}: {seconds:.3f}s")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registries = all_registries()
+    if args.json:
+        payload = {kind: registry.available() for kind, registry in registries.items()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for kind, registry in registries.items():
+        print(f"{kind} — {registry.description}")
+        for name in registry.available():
+            print(f"  {name:<24s} {registry.describe(name)}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    registries = all_registries()
+    if args.registry not in registries:
+        print(
+            f"error: unknown registry {args.registry!r}; "
+            f"available: {', '.join(registries)}",
+            file=sys.stderr,
+        )
+        return 2
+    registry = registries[args.registry]
+    if args.name is None:
+        print(f"{registry.kind} — {registry.description}")
+        for name in registry.available():
+            print(f"  {name:<24s} {registry.describe(name)}")
+        return 0
+    try:
+        entry = registry.get(args.name)
+    except RegistryError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(f"{registry.kind}/{args.name}")
+    doc = getattr(entry, "__doc__", None) if callable(entry) else None
+    if doc:
+        print(doc.strip())
+    else:
+        print(repr(entry))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified experiment CLI of the Rottmann et al. (DATE 2020) reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute an experiment config (JSON)")
+    run.add_argument("config", help="path to an ExperimentConfig JSON file")
+    run.add_argument("--output", help="write the full report JSON to this path")
+    run.add_argument("--seed", type=int, default=None, help="override the config seed")
+    run.add_argument(
+        "--timings", action="store_true", help="include wall-clock stage timings"
+    )
+    run.set_defaults(func=_cmd_run)
+
+    lst = sub.add_parser("list", help="list every registry and its entries")
+    lst.add_argument("--json", action="store_true", help="machine-readable output")
+    lst.set_defaults(func=_cmd_list)
+
+    describe = sub.add_parser("describe", help="document a registry or one entry")
+    describe.add_argument("registry", help="registry kind (see `list`)")
+    describe.add_argument("name", nargs="?", default=None, help="entry name")
+    describe.set_defaults(func=_cmd_describe)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except RegistryError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

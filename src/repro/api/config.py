@@ -1,0 +1,289 @@
+"""Declarative, JSON-round-trippable experiment configurations.
+
+An :class:`ExperimentConfig` fully describes one experiment of any of the
+three kinds — ``"metaseg"`` (Section II / Table I), ``"timedynamic"``
+(Section III / Table II) and ``"decision"`` (Section IV / Fig. 5) — as plain
+data: every pluggable component is referenced by its registry name and every
+knob lives in one of the nested sections.  A config can be built in code,
+loaded from JSON (``ExperimentConfig.from_json``), validated, echoed back
+into a report, and handed to :class:`repro.api.runner.Runner` for execution::
+
+    config = ExperimentConfig(
+        kind="metaseg",
+        seed=0,
+        data=DataConfig(dataset="cityscapes_like", n_val=12),
+        network=NetworkConfig(profile="mobilenetv2"),
+    )
+    report = Runner().run(config)
+
+This module is stdlib-only (dataclasses + json) so it can be imported from
+anywhere in the library without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: The three experiment kinds the Runner can dispatch to.
+EXPERIMENT_KINDS = ("metaseg", "timedynamic", "decision")
+
+
+def _as_list(values: Sequence) -> list:
+    """Normalise sequence fields to plain lists (JSON round-trip equality)."""
+    return list(values)
+
+
+@dataclass
+class DataConfig:
+    """Which dataset substrate to build, and at which size.
+
+    ``dataset`` names an entry of the ``datasets`` registry.  The single-frame
+    fields (``n_train``/``n_val``) apply to Cityscapes-like substrates, the
+    sequence fields (``n_sequences``/``n_frames``/``labeled_stride``) to
+    KITTI-like video substrates; builders read the fields they need.
+    """
+
+    dataset: str = "cityscapes_like"
+    n_train: int = 0
+    n_val: int = 12
+    height: int = 96
+    width: int = 192
+    n_sequences: int = 2
+    n_frames: int = 8
+    labeled_stride: int = 2
+
+    def validate(self) -> None:
+        if self.n_train < 0 or self.n_val < 0:
+            raise ValueError("data: split sizes must be non-negative")
+        if self.height < 32 or self.width < 64:
+            raise ValueError("data: scenes must be at least 32x64 pixels")
+        if self.n_sequences < 1 or self.n_frames < 1:
+            raise ValueError("data: n_sequences and n_frames must be >= 1")
+        if self.labeled_stride < 1:
+            raise ValueError("data: labeled_stride must be >= 1")
+
+
+@dataclass
+class NetworkConfig:
+    """Which simulated network profile(s) to run.
+
+    ``profile`` and ``reference_profile`` name entries of the ``networks``
+    registry; the reference profile is only used by the time-dynamic kind
+    (pseudo ground truth).  ``overrides`` are forwarded to
+    :meth:`NetworkProfile.with_overrides` for ablations.
+    """
+
+    profile: str = "mobilenetv2"
+    reference_profile: str = "xception65"
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if not self.profile:
+            raise ValueError("network: profile name must be non-empty")
+        if not isinstance(self.overrides, dict):
+            raise ValueError("network: overrides must be a dict")
+
+
+@dataclass
+class ExtractionConfig:
+    """Inference + metric-extraction execution parameters.
+
+    Chunk size and worker count live here once instead of being threaded
+    through per-method keyword arguments; the pipelines fall back to these
+    values whenever a call site does not pass them explicitly.  All settings
+    are bit-neutral: parallel extraction is exactly identical to serial.
+    """
+
+    chunk_size: Optional[int] = None
+    """Samples per streamed chunk; ``None`` uses the library default."""
+    max_workers: Optional[int] = None
+    """Thread-pool width for per-sample fan-out; ``None`` runs serially."""
+    connectivity: int = 8
+    """Connectivity (4 or 8) of the segment decomposition (``metaseg``
+    kind; the other kinds use the library default of 8)."""
+
+    def validate(self) -> None:
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("extraction: chunk_size must be >= 1")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("extraction: max_workers must be >= 1")
+        if self.connectivity not in (4, 8):
+            raise ValueError("extraction: connectivity must be 4 or 8")
+
+
+@dataclass
+class MetaModelConfig:
+    """Which meta-model variants to fit, and with which hyperparameters.
+
+    ``classifiers`` / ``regressors`` name entries of the ``meta_classifiers``
+    / ``meta_regressors`` registries (the time-dynamic kind uses the
+    ``classifiers`` list as its shared method list, as in the paper, and
+    ignores ``regressors``).  ``feature_group`` names a ``metric_groups``
+    entry restricting the features (for ``timedynamic`` it selects the base
+    features tracked over time); ``model_params`` maps a method name to
+    extra keyword arguments for that model family.  The ``decision`` kind
+    fits no meta models and ignores this section.
+    """
+
+    classifiers: List[str] = field(default_factory=lambda: ["logistic"])
+    regressors: List[str] = field(default_factory=lambda: ["linear"])
+    classification_penalty: float = 1.0
+    regression_penalty: float = 1.0
+    feature_group: str = "all"
+    model_params: Dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.classifiers = _as_list(self.classifiers)
+        self.regressors = _as_list(self.regressors)
+
+    def validate(self) -> None:
+        if not self.classifiers or not self.regressors:
+            raise ValueError("meta_models: need at least one classifier and one regressor")
+        if self.classification_penalty < 0 or self.regression_penalty < 0:
+            raise ValueError("meta_models: penalties must be non-negative")
+        if not isinstance(self.model_params, dict):
+            raise ValueError("meta_models: model_params must be a dict")
+
+
+@dataclass
+class EvalConfig:
+    """Evaluation-protocol parameters; each kind reads the fields it needs.
+
+    ``n_runs``/``train_fraction`` drive the Table I resampling protocol,
+    ``split_fractions``/``n_frames_list``/``compositions`` the Section III
+    protocol, and ``rules``/``category``/``strengths`` the Section IV
+    comparison (``rules`` names entries of the ``decision_rules`` registry).
+    """
+
+    n_runs: int = 10
+    train_fraction: float = 0.8
+    split_fractions: List[float] = field(default_factory=lambda: [0.7, 0.1, 0.2])
+    n_frames_list: List[int] = field(default_factory=lambda: [0, 1, 2])
+    compositions: List[str] = field(default_factory=lambda: ["R", "RP"])
+    augmentation_factor: float = 1.0
+    rules: List[str] = field(default_factory=lambda: ["bayes", "ml"])
+    category: str = "human"
+    strengths: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.split_fractions = _as_list(self.split_fractions)
+        self.n_frames_list = _as_list(self.n_frames_list)
+        self.compositions = _as_list(self.compositions)
+        self.rules = _as_list(self.rules)
+
+    def validate(self) -> None:
+        if self.n_runs < 1:
+            raise ValueError("evaluation: n_runs must be >= 1")
+        if not 0.0 < self.train_fraction < 1.0:
+            raise ValueError("evaluation: train_fraction must be in (0, 1)")
+        if len(self.split_fractions) != 3 or abs(sum(self.split_fractions) - 1.0) > 1e-8:
+            raise ValueError("evaluation: split_fractions must be three values summing to 1")
+        if not self.n_frames_list or any(n < 0 for n in self.n_frames_list):
+            raise ValueError("evaluation: n_frames_list must be non-empty and non-negative")
+        if not self.compositions:
+            raise ValueError("evaluation: compositions must be non-empty")
+        if self.augmentation_factor < 0:
+            raise ValueError("evaluation: augmentation_factor must be non-negative")
+        if not self.rules:
+            raise ValueError("evaluation: rules must be non-empty")
+        if not self.category:
+            raise ValueError("evaluation: category must be non-empty")
+
+
+#: Section name -> nested dataclass type, shared by from_dict/to_dict.
+_SECTIONS = {
+    "data": DataConfig,
+    "network": NetworkConfig,
+    "extraction": ExtractionConfig,
+    "meta_models": MetaModelConfig,
+    "evaluation": EvalConfig,
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """Complete declarative description of one experiment.
+
+    A single ``seed`` drives every stochastic component (scene generation,
+    network noise, split resampling, model initialisation); two runs of the
+    same config are bitwise identical.
+    """
+
+    kind: str = "metaseg"
+    name: str = ""
+    seed: int = 0
+    data: DataConfig = field(default_factory=DataConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    meta_models: MetaModelConfig = field(default_factory=MetaModelConfig)
+    evaluation: EvalConfig = field(default_factory=EvalConfig)
+
+    def validate(self) -> "ExperimentConfig":
+        """Structural validation of all sections; returns self for chaining.
+
+        Registry names are resolved (and therefore validated) by the Runner,
+        so this stays import-light and usable from anywhere.
+        """
+        if self.kind not in EXPERIMENT_KINDS:
+            raise ValueError(
+                f"kind must be one of {EXPERIMENT_KINDS}, got {self.kind!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ValueError("seed must be an integer")
+        for section in _SECTIONS:
+            getattr(self, section).validate()
+        return self
+
+    # ------------------------------------------------------------- (de)serialisation
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentConfig":
+        """Build a config from a plain dict, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"config payload must be a dict, got {type(payload).__name__}")
+        payload = dict(payload)
+        kwargs: Dict[str, object] = {}
+        for section, section_cls in _SECTIONS.items():
+            if section in payload:
+                kwargs[section] = _section_from_dict(section_cls, payload.pop(section), section)
+        for scalar in ("kind", "name", "seed"):
+            if scalar in payload:
+                kwargs[scalar] = payload.pop(scalar)
+        if payload:
+            raise ValueError(
+                f"unknown config keys: {', '.join(sorted(map(str, payload)))}"
+            )
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view containing only JSON-serialisable types."""
+        out: Dict[str, object] = {"kind": self.kind, "name": self.name, "seed": self.seed}
+        for section in _SECTIONS:
+            out[section] = dataclasses.asdict(getattr(self, section))
+        return out
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        """Parse a config from a JSON document."""
+        return cls.from_dict(json.loads(text))
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the config to JSON (round-trips through from_json)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _section_from_dict(section_cls, payload: object, section: str):
+    """Instantiate a nested config section from a dict, rejecting unknown keys."""
+    if isinstance(payload, section_cls):
+        return payload
+    if not isinstance(payload, dict):
+        raise ValueError(f"config section {section!r} must be a dict")
+    known = {f.name for f in dataclasses.fields(section_cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(
+            f"unknown keys in config section {section!r}: {', '.join(sorted(unknown))}"
+        )
+    return section_cls(**payload)

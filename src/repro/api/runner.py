@@ -1,0 +1,461 @@
+"""The unified experiment runner.
+
+One :class:`Runner` executes any :class:`~repro.api.config.ExperimentConfig`:
+it resolves every named component through the registries
+(:mod:`repro.api.registry`), builds the substrate and pipeline for the
+requested kind (``metaseg`` / ``timedynamic`` / ``decision``), runs the
+paper's protocol, and returns a unified :class:`ExperimentReport` — kind
+tag, flat per-variant metric tables, and provenance (config echo, seed,
+stage timings).
+
+Every stochastic component derives its seed from the config's single
+``seed`` field via fixed offsets (see :func:`derived_seeds`), so a Runner
+run is bitwise reproducible and bitwise identical to the equivalent direct
+pipeline calls made with the same derived seeds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Union
+
+from repro.api.config import ExperimentConfig
+from repro.api.registry import (
+    DATASETS,
+    DECISION_RULES,
+    META_CLASSIFIERS,
+    META_REGRESSORS,
+    METRIC_GROUPS,
+    NETWORK_PROFILES,
+)
+from repro.core.pipeline import MetaSegPipeline
+from repro.decision.pipeline import DecisionRuleComparison
+from repro.segmentation.network import SimulatedSegmentationNetwork
+from repro.timedynamic.pipeline import TimeDynamicPipeline
+from repro.utils.arrays import mean_std
+
+#: A table is a list of flat rows; every row is JSON-serialisable.
+Table = List[Dict[str, object]]
+
+
+def _table_rows(cells) -> Table:
+    """Flatten (key-fields, {metric: (mean, std)}) cells into table rows.
+
+    Every report table shares this row shape — the key fields of the cell
+    plus ``metric``/``mean``/``std`` columns — so downstream consumers need
+    no kind-specific handling.
+    """
+    rows: Table = []
+    for keys, metrics_by_name in cells:
+        for metric, (mean, std) in metrics_by_name.items():
+            rows.append({**keys, "metric": metric, "mean": mean, "std": std})
+    return rows
+
+
+class DerivedSeeds(NamedTuple):
+    """Fixed per-component seeds derived from one experiment seed.
+
+    The offsets are part of the public reproducibility contract: a direct
+    pipeline call using these seeds is bitwise identical to the Runner.
+    """
+
+    data: int
+    network: int
+    reference_network: int
+    protocol: int
+
+
+def derived_seeds(seed: int) -> DerivedSeeds:
+    """Derive the per-component seeds for one experiment seed."""
+    seed = int(seed)
+    return DerivedSeeds(
+        data=seed, network=seed + 1, reference_network=seed + 2, protocol=seed + 3
+    )
+
+
+@dataclass
+class ExperimentReport:
+    """Unified result of one experiment run.
+
+    ``tables`` maps a table name to a list of flat rows (plain dicts), the
+    same shape for every experiment kind, so downstream consumers (CLI,
+    benchmarks, dashboards) need no kind-specific handling.  ``provenance``
+    echoes the config, seed and workload sizes; ``timings`` holds per-stage
+    wall-clock seconds and is excluded from :meth:`to_json` by default so
+    that equal configs serialise to bitwise-equal reports.
+    """
+
+    kind: str
+    name: str
+    seed: int
+    config: Dict[str, object]
+    tables: Dict[str, Table] = field(default_factory=dict)
+    provenance: Dict[str, object] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ ---
+    def table(self, name: str) -> Table:
+        """Return one metric table by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(
+                f"report has no table {name!r}; available: {', '.join(sorted(self.tables))}"
+            ) from None
+
+    def summary_rows(self) -> List[str]:
+        """Human-readable rows covering every table of the report."""
+        header = f"experiment: {self.kind}"
+        if self.name:
+            header += f" ({self.name})"
+        rows = [header + f"  seed: {self.seed}"]
+        for key, value in sorted(self.provenance.items()):
+            rows.append(f"  {key}: {value}")
+        for table_name in sorted(self.tables):
+            rows.append(f"{table_name}:")
+            for row in self.tables[table_name]:
+                cells = []
+                for key, value in row.items():
+                    if isinstance(value, float):
+                        cells.append(f"{key}={value:.4f}")
+                    else:
+                        cells.append(f"{key}={value}")
+                rows.append("  " + "  ".join(cells))
+        return rows
+
+    def to_dict(self, include_timings: bool = False) -> Dict[str, object]:
+        """Plain-dict view; timings are opt-in (they differ run to run)."""
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "name": self.name,
+            "seed": self.seed,
+            "config": self.config,
+            "tables": self.tables,
+            "provenance": self.provenance,
+        }
+        if include_timings:
+            out["timings"] = self.timings
+        return out
+
+    def to_json(self, indent: int = 2, include_timings: bool = False) -> str:
+        """Deterministic JSON serialisation (bitwise equal for equal configs)."""
+        return json.dumps(
+            self.to_dict(include_timings=include_timings), indent=indent, sort_keys=True
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentReport":
+        """Rebuild a report from its :meth:`to_dict` form."""
+        return cls(
+            kind=payload["kind"],
+            name=payload.get("name", ""),
+            seed=payload["seed"],
+            config=payload.get("config", {}),
+            tables=payload.get("tables", {}),
+            provenance=payload.get("provenance", {}),
+            timings=payload.get("timings", {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        """Rebuild a report from its :meth:`to_json` form."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class ResolvedExperiment:
+    """All registry entries of a config resolved into live components.
+
+    ``dataset`` is the built substrate, ``network`` (and, for the
+    time-dynamic kind, ``reference_network``) the simulated networks, and
+    ``feature_subset`` the resolved metric-group column list (``None`` for
+    all features).  ``classifiers``/``regressors``/``rules`` echo the
+    validated registry names.
+    """
+
+    config: ExperimentConfig
+    seeds: DerivedSeeds
+    dataset: object
+    network: SimulatedSegmentationNetwork
+    reference_network: Optional[SimulatedSegmentationNetwork]
+    feature_subset: Optional[List[str]]
+    classifiers: List[str]
+    regressors: List[str]
+    rules: List[str]
+
+
+class Runner:
+    """Resolves a config through the registries and runs the experiment.
+
+    The Runner owns no state between runs; it is safe to reuse one instance
+    for many configs.  Dispatch is by ``config.kind``::
+
+        report = Runner().run(ExperimentConfig(kind="metaseg"))
+    """
+
+    def run(self, config: Union[ExperimentConfig, Dict[str, object]]) -> ExperimentReport:
+        """Execute one experiment and return its unified report."""
+        if isinstance(config, dict):
+            config = ExperimentConfig.from_dict(config)
+        config.validate()
+        timings: Dict[str, float] = {}
+        start = time.perf_counter()
+        resolved = self.resolve(config)
+        timings["resolve"] = time.perf_counter() - start
+        runner = {
+            "metaseg": self._run_metaseg,
+            "timedynamic": self._run_timedynamic,
+            "decision": self._run_decision,
+        }[config.kind]
+        report = runner(resolved, timings)
+        timings["total"] = time.perf_counter() - start
+        report.timings = timings
+        return report
+
+    # ------------------------------------------------------------------ ---
+    def resolve(self, config: ExperimentConfig) -> ResolvedExperiment:
+        """Resolve every registry name of a validated config into components.
+
+        Raises :class:`repro.api.registry.RegistryError` (with the available
+        names) on any unknown component name, before anything expensive runs.
+        """
+        seeds = derived_seeds(config.seed)
+        profile = NETWORK_PROFILES.get(config.network.profile)()
+        if config.network.overrides:
+            profile = profile.with_overrides(**config.network.overrides)
+        network = SimulatedSegmentationNetwork(profile, random_state=seeds.network)
+        reference_network = None
+        if config.kind == "timedynamic":
+            reference_profile = NETWORK_PROFILES.get(config.network.reference_profile)()
+            reference_network = SimulatedSegmentationNetwork(
+                reference_profile, random_state=seeds.reference_network
+            )
+        dataset = DATASETS.get(config.data.dataset)(config.data, seeds.data)
+        self._check_dataset_kind(config, dataset)
+        group = METRIC_GROUPS.get(config.meta_models.feature_group)
+        feature_subset = None if group is None else list(group)
+        if config.kind == "timedynamic":
+            # Section III shares one method list across both meta tasks, so
+            # each name must be registered as classifier AND regressor.
+            for name in config.meta_models.classifiers:
+                if name not in META_CLASSIFIERS or name not in META_REGRESSORS:
+                    raise ValueError(
+                        f"timedynamic methods must be registered as both "
+                        f"meta-classifier and meta-regressor; {name!r} is not "
+                        f"(shared by both: "
+                        f"{', '.join(sorted(set(META_CLASSIFIERS) & set(META_REGRESSORS)))})"
+                    )
+        else:
+            for name in config.meta_models.classifiers:
+                META_CLASSIFIERS.get(name)
+            for name in config.meta_models.regressors:
+                META_REGRESSORS.get(name)
+        for name in config.evaluation.rules:
+            DECISION_RULES.get(name)
+        return ResolvedExperiment(
+            config=config,
+            seeds=seeds,
+            dataset=dataset,
+            network=network,
+            reference_network=reference_network,
+            feature_subset=feature_subset,
+            classifiers=list(config.meta_models.classifiers),
+            regressors=list(config.meta_models.regressors),
+            rules=list(config.evaluation.rules),
+        )
+
+    @staticmethod
+    def _check_dataset_kind(config: ExperimentConfig, dataset: object) -> None:
+        """Reject kind/dataset mismatches with a config error, not a crash.
+
+        Both names can be perfectly valid registry entries and still not fit
+        together (a video substrate for the single-frame kinds, or vice
+        versa); the substrate interface each kind consumes is duck-typed.
+        """
+        if config.kind == "timedynamic":
+            required = ("n_sequences", "samples")
+            shape = "a video substrate (KITTI-like)"
+        else:
+            required = ("train_samples", "val_samples")
+            shape = "a single-frame substrate (Cityscapes-like)"
+        missing = [name for name in required if not hasattr(dataset, name)]
+        if missing:
+            raise ValueError(
+                f"dataset {config.data.dataset!r} does not fit experiment kind "
+                f"{config.kind!r}: it lacks {', '.join(missing)}; "
+                f"this kind needs {shape}"
+            )
+
+    # ------------------------------------------------------------------ ---
+    def _report(self, resolved: ResolvedExperiment) -> ExperimentReport:
+        config = resolved.config
+        return ExperimentReport(
+            kind=config.kind, name=config.name, seed=config.seed, config=config.to_dict()
+        )
+
+    def _run_metaseg(
+        self, resolved: ResolvedExperiment, timings: Dict[str, float]
+    ) -> ExperimentReport:
+        config = resolved.config
+        pipeline = MetaSegPipeline(
+            resolved.network,
+            connectivity=config.extraction.connectivity,
+            classification_penalty=config.meta_models.classification_penalty,
+            regression_penalty=config.meta_models.regression_penalty,
+            extraction=config.extraction,
+        )
+        samples = resolved.dataset.val_samples()
+        if not samples:
+            raise ValueError("metaseg needs data.n_val >= 1 evaluation samples")
+        start = time.perf_counter()
+        metrics = pipeline.extract_dataset_batched(samples)
+        timings["extract"] = time.perf_counter() - start
+        start = time.perf_counter()
+        result = pipeline.run_table1_protocol(
+            metrics,
+            n_runs=config.evaluation.n_runs,
+            train_fraction=config.evaluation.train_fraction,
+            random_state=resolved.seeds.protocol,
+            classification_methods=resolved.classifiers,
+            regression_methods=resolved.regressors,
+            feature_subset=resolved.feature_subset,
+            model_params=config.meta_models.model_params,
+        )
+        timings["evaluate"] = time.perf_counter() - start
+
+        report = self._report(resolved)
+        report.provenance.update(
+            network=result.network_name,
+            n_images=len(samples),
+            n_segments=result.n_segments,
+            false_positive_fraction=result.false_positive_fraction,
+            n_runs=result.n_runs,
+        )
+        classification = _table_rows(
+            ({"variant": variant}, metrics_by_name)
+            for variant, metrics_by_name in result.classification.items()
+        )
+        classification.append(
+            {"variant": "naive", "metric": "accuracy", "mean": result.naive_accuracy, "std": 0.0}
+        )
+        regression = _table_rows(
+            ({"variant": variant}, metrics_by_name)
+            for variant, metrics_by_name in result.regression.items()
+        )
+        report.tables = {"classification": classification, "regression": regression}
+        return report
+
+    def _run_timedynamic(
+        self, resolved: ResolvedExperiment, timings: Dict[str, float]
+    ) -> ExperimentReport:
+        config = resolved.config
+        params = config.meta_models.model_params
+        pipeline_kwargs = {}
+        if resolved.feature_subset is not None:
+            # The metric-group restriction maps to the base features tracked
+            # over time (the full time-series vector is built from them).
+            pipeline_kwargs["base_features"] = resolved.feature_subset
+        pipeline = TimeDynamicPipeline(
+            test_network=resolved.network,
+            reference_network=resolved.reference_network,
+            classification_penalty=config.meta_models.classification_penalty,
+            regression_penalty=config.meta_models.regression_penalty,
+            gradient_boosting_params=params.get("gradient_boosting"),
+            neural_network_params=params.get("neural_network"),
+            extraction=config.extraction,
+            **pipeline_kwargs,
+        )
+        start = time.perf_counter()
+        sequences = pipeline.process_dataset(resolved.dataset)
+        timings["process"] = time.perf_counter() - start
+        start = time.perf_counter()
+        result = pipeline.run_protocol(
+            sequences,
+            n_frames_list=config.evaluation.n_frames_list,
+            compositions=config.evaluation.compositions,
+            methods=resolved.classifiers,
+            n_runs=config.evaluation.n_runs,
+            split_fractions=config.evaluation.split_fractions,
+            augmentation_factor=config.evaluation.augmentation_factor,
+            random_state=resolved.seeds.protocol,
+        )
+        timings["evaluate"] = time.perf_counter() - start
+
+        report = self._report(resolved)
+        report.provenance.update(
+            network=resolved.network.profile.name,
+            reference_network=resolved.reference_network.profile.name,
+            n_sequences=resolved.dataset.n_sequences,
+            n_real_segments=result.n_real_segments,
+            n_pseudo_segments=result.n_pseudo_segments,
+            n_runs=result.n_runs,
+        )
+        def cells(nested):
+            for composition, by_method in nested.items():
+                for method, by_frames in by_method.items():
+                    for n_frames, metrics_by_name in sorted(by_frames.items()):
+                        yield (
+                            {"composition": composition, "method": method,
+                             "n_frames": n_frames},
+                            metrics_by_name,
+                        )
+
+        report.tables = {
+            "classification": _table_rows(cells(result.classification)),
+            "regression": _table_rows(cells(result.regression)),
+        }
+        return report
+
+    def _run_decision(
+        self, resolved: ResolvedExperiment, timings: Dict[str, float]
+    ) -> ExperimentReport:
+        config = resolved.config
+        comparison = DecisionRuleComparison(
+            resolved.network,
+            category=config.evaluation.category,
+            extraction=config.extraction,
+        )
+        train_samples = resolved.dataset.train_samples()
+        val_samples = resolved.dataset.val_samples()
+        if not train_samples or not val_samples:
+            raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
+        start = time.perf_counter()
+        comparison.fit_priors(train_samples)
+        timings["fit_priors"] = time.perf_counter() - start
+        start = time.perf_counter()
+        result = comparison.compare(
+            val_samples,
+            rules=resolved.rules,
+            strengths=config.evaluation.strengths,
+        )
+        timings["evaluate"] = time.perf_counter() - start
+
+        report = self._report(resolved)
+        report.provenance.update(
+            network=result.network_name,
+            category=result.category,
+            n_train_images=len(train_samples),
+            n_val_images=len(val_samples),
+        )
+        report.tables = {
+            "rules": _table_rows(
+                (
+                    {"rule": rule},
+                    {
+                        "precision": mean_std(stats.precision_values),
+                        "recall": mean_std(stats.recall_values),
+                        "non_detection_rate": (stats.non_detection_rate(), 0.0),
+                        "pixel_accuracy": (result.pixel_accuracy[rule], 0.0),
+                    },
+                )
+                for rule, stats in result.per_rule.items()
+            )
+        }
+        return report
+
+
+def run_experiment(config: Union[ExperimentConfig, Dict[str, object]]) -> ExperimentReport:
+    """Convenience one-shot: ``Runner().run(config)``."""
+    return Runner().run(config)

@@ -31,6 +31,22 @@ ResultT = TypeVar("ResultT")
 DEFAULT_CHUNK_SIZE = 8
 
 
+def extraction_defaults(extraction) -> "tuple[int, Optional[int]]":
+    """(chunk_size, max_workers) defaults from an optional ExtractionConfig.
+
+    Shared by the three pipelines' constructors so the fallback semantics
+    (library default chunk size, serial execution) live in one place.  The
+    config object is duck-typed (``chunk_size``/``max_workers`` attributes)
+    to keep this module import-light.
+    """
+    if extraction is None:
+        return DEFAULT_CHUNK_SIZE, None
+    chunk_size = (
+        DEFAULT_CHUNK_SIZE if extraction.chunk_size is None else int(extraction.chunk_size)
+    )
+    return chunk_size, extraction.max_workers
+
+
 def chunked(items: Iterable[ItemT], chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[List[ItemT]]:
     """Yield successive lists of at most ``chunk_size`` items.
 

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import META_CLASSIFIERS
 from repro.core.dataset import MetricsDataset
 from repro.core.metrics import METRIC_GROUPS
 from repro.evaluation.classification import accuracy, auroc
@@ -164,6 +165,22 @@ class MetaClassifier:
             train_auroc=auroc(train_targets, train_scores),
             test_auroc=auroc(test_targets, test_scores),
         )
+
+
+# Register the supported model families as named factories: a registry entry
+# is a MetaClassifier constructor with the method baked in, so configs select
+# a variant purely by name.
+def _classifier_factory(method: str):
+    def factory(**kwargs) -> MetaClassifier:
+        return MetaClassifier(method=method, **kwargs)
+
+    factory.__name__ = f"{method}_meta_classifier"
+    factory.__doc__ = f"MetaClassifier factory for the {method!r} model family."
+    return factory
+
+
+for _method in CLASSIFIER_METHODS:
+    META_CLASSIFIERS.register(_method, _classifier_factory(_method))
 
 
 def entropy_baseline_classifier(

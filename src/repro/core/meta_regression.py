@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import META_REGRESSORS
 from repro.core.dataset import MetricsDataset
 from repro.core.metrics import METRIC_GROUPS
 from repro.evaluation.regression import r2_score, residual_std
@@ -139,6 +140,21 @@ class MetaRegressor:
             train_r2=r2_score(train_targets, train_pred),
             test_r2=r2_score(test_targets, test_pred),
         )
+
+
+# Register the supported model families as named factories (see the
+# matching block in repro.core.meta_classification).
+def _regressor_factory(method: str):
+    def factory(**kwargs) -> MetaRegressor:
+        return MetaRegressor(method=method, **kwargs)
+
+    factory.__name__ = f"{method}_meta_regressor"
+    factory.__doc__ = f"MetaRegressor factory for the {method!r} model family."
+    return factory
+
+
+for _method in REGRESSOR_METHODS:
+    META_REGRESSORS.register(_method, _regressor_factory(_method))
 
 
 def entropy_baseline_regressor(

@@ -13,11 +13,12 @@ The pipeline wires the substrate and the core pieces together:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.batching import DEFAULT_CHUNK_SIZE, chunked, map_ordered
+from repro.api.registry import META_CLASSIFIERS, META_REGRESSORS
+from repro.core.batching import chunked, extraction_defaults, map_ordered
 from repro.core.dataset import MetricsDataset
 from repro.core.meta_classification import MetaClassifier, naive_baseline_accuracy
 from repro.core.meta_regression import MetaRegressor
@@ -26,12 +27,11 @@ from repro.evaluation.regression import pearson_correlation
 from repro.segmentation.datasets import SegmentationSample
 from repro.segmentation.labels import LabelSpace, cityscapes_label_space
 from repro.segmentation.network import SimulatedSegmentationNetwork
+from repro.utils.arrays import mean_std
 from repro.utils.rng import RandomState, as_rng
 
-
-def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
-    array = np.asarray(list(values), dtype=np.float64)
-    return float(array.mean()), float(array.std(ddof=0))
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from repro.api.config import ExtractionConfig
 
 
 @dataclass
@@ -85,6 +85,11 @@ class MetaSegPipeline:
         Connectivity of the segment decomposition.
     classification_penalty, regression_penalty:
         l2 strengths of the "penalized" variants of Table I.
+    extraction:
+        Optional :class:`repro.api.config.ExtractionConfig` providing the
+        default ``chunk_size``/``max_workers`` for the extraction methods, so
+        execution parameters are configured once per experiment instead of
+        per call.  Explicit keyword arguments still win.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class MetaSegPipeline:
         connectivity: int = 8,
         classification_penalty: float = 1.0,
         regression_penalty: float = 1.0,
+        extraction: Optional["ExtractionConfig"] = None,
     ) -> None:
         self.network = network
         self.label_space = label_space or cityscapes_label_space()
@@ -102,6 +108,7 @@ class MetaSegPipeline:
         )
         self.classification_penalty = float(classification_penalty)
         self.regression_penalty = float(regression_penalty)
+        self._default_chunk_size, self._default_max_workers = extraction_defaults(extraction)
 
     # ------------------------------------------------------------------ ---
     def extract_dataset(
@@ -137,11 +144,21 @@ class MetaSegPipeline:
             position += len(chunk)
             yield map_ordered(self._extract_one, indexed, max_workers=max_workers)
 
+    def _resolve_execution(
+        self, chunk_size: Optional[int], max_workers: Optional[int]
+    ) -> Tuple[int, Optional[int]]:
+        """Fill unset execution parameters from the pipeline-level defaults."""
+        if chunk_size is None:
+            chunk_size = self._default_chunk_size
+        if max_workers is None:
+            max_workers = self._default_max_workers
+        return chunk_size, max_workers
+
     def iter_extract_batched(
         self,
         samples: Iterable[SegmentationSample],
         index_offset: int = 0,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        chunk_size: Optional[int] = None,
         max_workers: Optional[int] = None,
     ) -> Iterable[MetricsDataset]:
         """Stream metric extraction chunk by chunk.
@@ -153,8 +170,10 @@ class MetaSegPipeline:
         across a thread pool (chunks widen to ``max_workers`` if that is
         larger, so all requested workers get work); results are
         order-preserving either way, so the streamed parts are bit-identical
-        to a serial run.
+        to a serial run.  Unset parameters fall back to the pipeline's
+        extraction config (serial, default chunk size when none was given).
         """
+        chunk_size, max_workers = self._resolve_execution(chunk_size, max_workers)
         for parts in self._iter_extract_parts(samples, index_offset, chunk_size, max_workers):
             yield MetricsDataset.concatenate(parts)
 
@@ -162,7 +181,7 @@ class MetaSegPipeline:
         self,
         samples: Iterable[SegmentationSample],
         index_offset: int = 0,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        chunk_size: Optional[int] = None,
         max_workers: Optional[int] = None,
     ) -> MetricsDataset:
         """Batched variant of :meth:`extract_dataset`.
@@ -170,8 +189,10 @@ class MetaSegPipeline:
         Chunks the sample stream, optionally fans each chunk out over
         ``max_workers`` threads, and concatenates the per-image parts once at
         the end (no per-chunk intermediate copies).  The result is
-        bit-identical to the serial path for every configuration.
+        bit-identical to the serial path for every configuration.  Unset
+        parameters fall back to the pipeline's extraction config.
         """
+        chunk_size, max_workers = self._resolve_execution(chunk_size, max_workers)
         parts: List[MetricsDataset] = []
         for chunk_parts in self._iter_extract_parts(
             samples, index_offset, chunk_size, max_workers
@@ -190,6 +211,8 @@ class MetaSegPipeline:
         random_state: RandomState = 0,
         classification_methods: Sequence[str] = ("logistic",),
         regression_methods: Sequence[str] = ("linear",),
+        feature_subset: Optional[Sequence[str]] = None,
+        model_params: Optional[Dict[str, dict]] = None,
     ) -> MetaSegResult:
         """Evaluate all Table I variants with repeated random splits.
 
@@ -203,26 +226,52 @@ class MetaSegPipeline:
             Fraction of segments used for meta training (the paper uses 0.8).
         classification_methods, regression_methods:
             Model families to evaluate; the default matches Section II
-            (logistic / linear models).
+            (logistic / linear models).  Names are resolved through the
+            ``meta_classifiers`` / ``meta_regressors`` registries, so custom
+            registered factories work here.  A factory is called as
+            ``factory(penalty=..., feature_subset=..., random_state=...,
+            **model_params[name])`` and must return an object with the
+            ``evaluate(train, test)`` protocol of the built-in meta models.
+        feature_subset:
+            Optional metric-group restriction for the main variants (e.g. a
+            named group from the ``metric_groups`` registry); ``None`` uses
+            all features, as in Table I.  The entropy-only baseline always
+            uses its own single feature.
+        model_params:
+            Optional per-method extra keyword arguments, e.g.
+            ``{"gradient_boosting": {"n_estimators": 20}}``.
         """
         if not 0.0 < train_fraction < 1.0:
             raise ValueError("train_fraction must be in (0, 1)")
         if n_runs < 1:
             raise ValueError("n_runs must be >= 1")
         rng = as_rng(random_state)
+        subset = list(feature_subset) if feature_subset is not None else None
+        model_params = model_params or {}
+        # Resolve the model families up front so unknown names fail fast
+        # (before any split is consumed from the RNG stream).
+        classifier_factories = {
+            method: META_CLASSIFIERS.get(method) for method in classification_methods
+        }
+        regressor_factories = {
+            method: META_REGRESSORS.get(method) for method in regression_methods
+        }
         classification_runs: Dict[str, List[Dict[str, float]]] = {}
         regression_runs: Dict[str, List[Dict[str, float]]] = {}
 
         for _ in range(n_runs):
             split_seed = int(rng.integers(0, 2**31 - 1))
             train, test = dataset.split((train_fraction, 1.0 - train_fraction), split_seed)
-            for method in classification_methods:
+            for method, factory in classifier_factories.items():
+                params = model_params.get(method, {})
                 variants = {
-                    f"{method}_penalized": MetaClassifier(
-                        method=method, penalty=self.classification_penalty, random_state=split_seed
+                    f"{method}_penalized": factory(
+                        penalty=self.classification_penalty,
+                        feature_subset=subset, random_state=split_seed, **params,
                     ),
-                    f"{method}_unpenalized": MetaClassifier(
-                        method=method, penalty=0.0, random_state=split_seed
+                    f"{method}_unpenalized": factory(
+                        penalty=0.0,
+                        feature_subset=subset, random_state=split_seed, **params,
                     ),
                 }
                 for name, classifier in variants.items():
@@ -235,9 +284,11 @@ class MetaSegPipeline:
             classification_runs.setdefault("entropy_only", []).append(
                 entropy_classifier.evaluate(train, test).as_dict()
             )
-            for method in regression_methods:
-                regressor = MetaRegressor(
-                    method=method, penalty=self.regression_penalty, random_state=split_seed
+            for method, factory in regressor_factories.items():
+                regressor = factory(
+                    penalty=self.regression_penalty,
+                    feature_subset=subset, random_state=split_seed,
+                    **model_params.get(method, {}),
                 )
                 regression_runs.setdefault(f"{method}_all_metrics", []).append(
                     regressor.evaluate(train, test).as_dict()
@@ -259,11 +310,11 @@ class MetaSegPipeline:
         )
         for name, runs in classification_runs.items():
             result.classification[name] = {
-                key: _mean_std([run[key] for run in runs]) for key in runs[0]
+                key: mean_std([run[key] for run in runs]) for key in runs[0]
             }
         for name, runs in regression_runs.items():
             result.regression[name] = {
-                key: _mean_std([run[key] for run in runs]) for key in runs[0]
+                key: mean_std([run[key] for run in runs]) for key in runs[0]
             }
         return result
 

@@ -14,11 +14,12 @@ Protocol:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.batching import map_ordered
+from repro.api.registry import DECISION_RULES
+from repro.core.batching import extraction_defaults, map_ordered
 from repro.decision.evaluation import ClassPrecisionRecall, collect_precision_recall
 from repro.decision.priors import PixelPriorEstimator
 from repro.decision.rules import apply_rule
@@ -26,6 +27,9 @@ from repro.evaluation.segmentation import pixel_accuracy
 from repro.segmentation.datasets import CityscapesLikeDataset, SegmentationSample
 from repro.segmentation.labels import LabelSpace, cityscapes_label_space
 from repro.segmentation.network import SimulatedSegmentationNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from repro.api.config import ExtractionConfig
 
 
 @dataclass
@@ -66,10 +70,12 @@ class DecisionRuleComparison:
         prior_laplace_smoothing: float = 2.0,
         prior_spatial_sigma: float = 2.0,
         prior_global_blend: float = 0.25,
+        extraction: Optional["ExtractionConfig"] = None,
     ) -> None:
         self.network = network
         self.label_space = label_space or cityscapes_label_space()
         self.category = category
+        _, self._default_max_workers = extraction_defaults(extraction)
         self.prior_estimator = PixelPriorEstimator(
             label_space=self.label_space,
             laplace_smoothing=prior_laplace_smoothing,
@@ -98,10 +104,20 @@ class DecisionRuleComparison:
 
     # ------------------------------------------------------------------ ---
     def decode(self, probs: np.ndarray, rule: str, strength: float = 1.0) -> np.ndarray:
-        """Decode a probability field with the requested decision rule."""
+        """Decode a probability field with the requested decision rule.
+
+        The built-in rules dispatch through :func:`apply_rule`; any other
+        name is resolved via the ``decision_rules`` registry and called as
+        ``rule_fn(probs, priors=..., strength=...)`` (``priors`` is ``None``
+        when no priors were fitted), so custom registered rules plug into
+        the comparison without pipeline changes.
+        """
         if rule == "bayes":
             return apply_rule(probs, rule=rule)
-        return apply_rule(probs, rule=rule, priors=self.priors, strength=strength)
+        if rule in ("ml", "interpolated"):
+            return apply_rule(probs, rule=rule, priors=self.priors, strength=strength)
+        custom_rule = DECISION_RULES.get(rule)
+        return custom_rule(probs, priors=self._priors, strength=strength)
 
     def _compare_one(
         self,
@@ -137,10 +153,13 @@ class DecisionRuleComparison:
         Samples are independent, so ``max_workers`` > 1 evaluates them on a
         thread pool through the shared batched-execution layer.  The per-rule
         statistics are merged back in sample order, making the result
-        bit-identical to the serial run.
+        bit-identical to the serial run.  ``max_workers=None`` falls back to
+        the comparison's extraction config (serial by default).
         """
         if not samples:
             raise ValueError("at least one evaluation sample is required")
+        if max_workers is None:
+            max_workers = self._default_max_workers
         strengths = strengths or {}
         result = DecisionRuleResult(
             network_name=self.network.profile.name, category=self.category

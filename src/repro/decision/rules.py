@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.api.registry import DECISION_RULES
 from repro.utils.validation import check_probability_field
 
 #: Type alias: a decision rule maps an (H, W, C) probability field to an
@@ -26,12 +27,14 @@ from repro.utils.validation import check_probability_field
 DecisionRule = Callable[[np.ndarray], np.ndarray]
 
 
+@DECISION_RULES.register("bayes")
 def bayes_rule(probs: np.ndarray) -> np.ndarray:
     """Maximum a-posteriori (MAP) decision: argmax_y f_z(y|x)."""
     probs = check_probability_field(probs)
     return np.argmax(probs, axis=2).astype(np.int64)
 
 
+@DECISION_RULES.register("ml")
 def maximum_likelihood_rule(probs: np.ndarray, priors: np.ndarray, epsilon: float = 1e-12) -> np.ndarray:
     """Maximum-Likelihood decision: argmax_y f_z(y|x) / p̂_z(y).
 
@@ -109,6 +112,7 @@ def cost_based_rule(probs: np.ndarray, confusion_costs: np.ndarray) -> np.ndarra
     return np.argmin(expected_cost, axis=2).astype(np.int64)
 
 
+@DECISION_RULES.register("interpolated")
 def interpolated_rule(
     probs: np.ndarray,
     priors: np.ndarray,

@@ -19,6 +19,7 @@ from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro.api.registry import DATASETS
 from repro.segmentation.labels import LabelSpace, cityscapes_label_space
 from repro.segmentation.scene import Scene, SceneConfig, StreetSceneGenerator
 from repro.segmentation.sequence import SceneSequence, SequenceConfig, SequenceGenerator
@@ -215,6 +216,62 @@ class KittiLikeDataset:
     def n_labeled_frames(self) -> int:
         """Total number of frames exposing ground truth across all sequences."""
         return self.n_sequences * len(self.labeled_frame_indices())
+
+
+# ---------------------------------------------------------------- builders --
+# Named dataset variants for the experiment API.  Builders receive the
+# declarative DataConfig and the data seed and construct a substrate; the
+# "_small" variants pin a reduced resolution (BuilderConfig-style presets for
+# smoke runs and CI) while the base variants honour the configured size.
+
+@DATASETS.register("cityscapes_like")
+def build_cityscapes_like(data, seed: int) -> "CityscapesLikeDataset":
+    """Single-frame Cityscapes-like substrate at the configured size."""
+    return CityscapesLikeDataset(
+        n_train=data.n_train,
+        n_val=data.n_val,
+        scene_config=SceneConfig(height=data.height, width=data.width),
+        random_state=seed,
+    )
+
+
+@DATASETS.register("cityscapes_like_small")
+def build_cityscapes_like_small(data, seed: int) -> "CityscapesLikeDataset":
+    """Cityscapes-like substrate pinned to 64x128 scenes (smoke runs, CI)."""
+    return CityscapesLikeDataset(
+        n_train=data.n_train,
+        n_val=data.n_val,
+        scene_config=SceneConfig(height=64, width=128),
+        random_state=seed,
+    )
+
+
+@DATASETS.register("kitti_like")
+def build_kitti_like(data, seed: int) -> "KittiLikeDataset":
+    """Sparsely labelled KITTI-like video substrate at the configured size."""
+    return KittiLikeDataset(
+        n_sequences=data.n_sequences,
+        sequence_config=SequenceConfig(
+            n_frames=data.n_frames,
+            scene_config=SceneConfig(height=data.height, width=data.width),
+        ),
+        labeled_stride=data.labeled_stride,
+        random_state=seed,
+    )
+
+
+@DATASETS.register("kitti_like_small")
+def build_kitti_like_small(data, seed: int) -> "KittiLikeDataset":
+    """KITTI-like video substrate pinned to 64x128 frames (smoke runs, CI)."""
+    return KittiLikeDataset(
+        n_sequences=data.n_sequences,
+        sequence_config=SequenceConfig(
+            n_frames=data.n_frames,
+            scene_config=SceneConfig(height=64, width=128),
+        ),
+        labeled_stride=data.labeled_stride,
+        random_state=seed,
+    )
 
 
 def global_frame_index(sequence_index: int, frame_index: int, frames_per_sequence: int) -> int:

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy import ndimage
 
+from repro.api.registry import NETWORK_PROFILES
 from repro.segmentation.labels import LabelSpace, cityscapes_label_space
 from repro.utils.connected_components import connected_components
 from repro.utils.rng import RandomState, as_rng
@@ -129,6 +130,13 @@ class NetworkProfile:
         return replace(self, **kwargs)
 
 
+@NETWORK_PROFILES.register("generic")
+def generic_profile() -> NetworkProfile:
+    """Default mid-quality profile (the NetworkProfile defaults)."""
+    return NetworkProfile()
+
+
+@NETWORK_PROFILES.register("xception65")
 def xception65_profile() -> NetworkProfile:
     """Profile mimicking the stronger DeepLabv3+ Xception65 network."""
     return NetworkProfile(
@@ -154,6 +162,7 @@ def xception65_profile() -> NetworkProfile:
     )
 
 
+@NETWORK_PROFILES.register("mobilenetv2")
 def mobilenetv2_profile() -> NetworkProfile:
     """Profile mimicking the weaker DeepLabv3+ MobilenetV2 network."""
     return NetworkProfile(

@@ -20,11 +20,12 @@ Protocol, following Section III:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.batching import map_ordered
+from repro.api.registry import META_CLASSIFIERS, META_REGRESSORS
+from repro.core.batching import extraction_defaults, map_ordered
 from repro.core.dataset import MetricsDataset
 from repro.core.meta_classification import MetaClassifier
 from repro.core.meta_regression import MetaRegressor
@@ -41,12 +42,11 @@ from repro.timedynamic.time_series import (
     TimeSeriesBuilder,
     build_time_series_dataset,
 )
+from repro.utils.arrays import mean_std
 from repro.utils.rng import RandomState, as_rng
 
-
-def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
-    array = np.asarray(list(values), dtype=np.float64)
-    return float(array.mean()), float(array.std(ddof=0))
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from repro.api.config import ExtractionConfig
 
 
 @dataclass
@@ -108,6 +108,7 @@ class TimeDynamicPipeline:
         regression_penalty: float = 1e-3,
         gradient_boosting_params: Optional[dict] = None,
         neural_network_params: Optional[dict] = None,
+        extraction: Optional["ExtractionConfig"] = None,
     ) -> None:
         self.test_network = test_network
         self.reference_network = reference_network
@@ -115,6 +116,7 @@ class TimeDynamicPipeline:
         self.base_features = list(base_features)
         self.classification_penalty = float(classification_penalty)
         self.regression_penalty = float(regression_penalty)
+        _, self._default_max_workers = extraction_defaults(extraction)
         self.gradient_boosting_params = dict(gradient_boosting_params or {
             "n_estimators": 40, "max_depth": 3, "max_features": "sqrt", "subsample": 0.8,
         })
@@ -162,8 +164,11 @@ class TimeDynamicPipeline:
         the global frame index, tracking state lives per sequence), so with
         ``max_workers`` > 1 they are processed on a thread pool via the shared
         batched-execution layer; the returned list is ordered by sequence
-        index and bit-identical to the serial run.
+        index and bit-identical to the serial run.  ``max_workers=None``
+        falls back to the pipeline's extraction config (serial by default).
         """
+        if max_workers is None:
+            max_workers = self._default_max_workers
         return map_ordered(
             lambda sequence_index: self._process_sequence(dataset, sequence_index),
             range(dataset.n_sequences),
@@ -172,18 +177,26 @@ class TimeDynamicPipeline:
 
     # ------------------------------------------------------------------ ---
     def _make_classifier(self, method: str, seed: int) -> MetaClassifier:
+        """Build the meta classifier for one method via the registry.
+
+        Custom factories registered under ``meta_classifiers`` are called
+        with the same keyword arguments as the built-in families.
+        """
+        factory = META_CLASSIFIERS.get(method)
         if method == "gradient_boosting":
-            return MetaClassifier(method=method, random_state=seed, **self.gradient_boosting_params)
-        return MetaClassifier(
-            method=method, penalty=self.classification_penalty, random_state=seed,
+            return factory(random_state=seed, **self.gradient_boosting_params)
+        return factory(
+            penalty=self.classification_penalty, random_state=seed,
             **self.neural_network_params,
         )
 
     def _make_regressor(self, method: str, seed: int) -> MetaRegressor:
+        """Build the meta regressor for one method via the registry."""
+        factory = META_REGRESSORS.get(method)
         if method == "gradient_boosting":
-            return MetaRegressor(method=method, random_state=seed, **self.gradient_boosting_params)
-        return MetaRegressor(
-            method=method, penalty=self.regression_penalty, random_state=seed,
+            return factory(random_state=seed, **self.gradient_boosting_params)
+        return factory(
+            penalty=self.regression_penalty, random_state=seed,
             **self.neural_network_params,
         )
 
@@ -203,7 +216,9 @@ class TimeDynamicPipeline:
             if composition not in COMPOSITIONS:
                 raise ValueError(f"unknown composition {composition!r}")
         for method in methods:
-            if method not in ("gradient_boosting", "neural_network", "logistic", "linear"):
+            # Methods are shared between the two meta tasks (as in Table II),
+            # so a name must be registered for both.
+            if method not in META_CLASSIFIERS or method not in META_REGRESSORS:
                 raise ValueError(f"unsupported method {method!r}")
         rng = as_rng(random_state)
         result = TimeDynamicResult(n_runs=n_runs)
@@ -256,11 +271,11 @@ class TimeDynamicPipeline:
 
         for (composition, method, n_frames), runs in collect_cls.items():
             result.classification.setdefault(composition, {}).setdefault(method, {})[n_frames] = {
-                key: _mean_std([run[key] for run in runs]) for key in runs[0]
+                key: mean_std([run[key] for run in runs]) for key in runs[0]
             }
         for (composition, method, n_frames), runs in collect_reg.items():
             result.regression.setdefault(composition, {}).setdefault(method, {})[n_frames] = {
-                key: _mean_std([run[key] for run in runs]) for key in runs[0]
+                key: mean_std([run[key] for run in runs]) for key in runs[0]
             }
         return result
 
@@ -300,8 +315,8 @@ class TimeDynamicPipeline:
             r2s.append(r2_score(test.target_iou(), predictions))
             sigmas.append(residual_std(test.target_iou(), predictions))
         return {
-            "accuracy": _mean_std(accuracies),
-            "auroc": _mean_std(aurocs),
-            "sigma": _mean_std(sigmas),
-            "r2": _mean_std(r2s),
+            "accuracy": mean_std(accuracies),
+            "auroc": mean_std(aurocs),
+            "sigma": mean_std(sigmas),
+            "r2": mean_std(r2s),
         }

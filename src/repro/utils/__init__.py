@@ -12,6 +12,7 @@ from repro.utils.connected_components import (
 )
 from repro.utils.rng import RandomState, spawn_rngs, as_rng
 from repro.utils.arrays import (
+    mean_std,
     one_hot,
     boundary_mask,
     crop_center,
@@ -32,6 +33,7 @@ __all__ = [
     "RandomState",
     "spawn_rngs",
     "as_rng",
+    "mean_std",
     "one_hot",
     "boundary_mask",
     "crop_center",

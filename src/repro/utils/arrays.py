@@ -1,4 +1,5 @@
-"""Small array helpers: one-hot encoding, boundaries, crops and resizing.
+"""Small array helpers: aggregation, one-hot encoding, boundaries, crops and
+resizing.
 
 The multi-resolution extension of MetaSeg (Section II of the paper, ref. [18])
 needs nested center crops and resizing; the simulated segmentation network
@@ -8,11 +9,24 @@ with plain numpy so the library has no image-processing dependency.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.utils.validation import check_label_map, check_probability_field
+
+
+def mean_std(values: Union[Sequence[float], np.ndarray]) -> Tuple[float, float]:
+    """Mean and population standard deviation (ddof=0) of a value sequence.
+
+    This is the canonical aggregation used for every "mean (+/- std) over the
+    random resampling runs" number of the paper's tables; the pipelines and
+    the experiment reports all share this helper.
+    """
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("mean_std needs at least one value")
+    return float(array.mean()), float(array.std(ddof=0))
 
 
 def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:

@@ -1,0 +1,130 @@
+"""Tests for repro.api.config: declarative experiment configurations."""
+
+import json
+
+import pytest
+
+from repro.api.config import (
+    EXPERIMENT_KINDS,
+    DataConfig,
+    EvalConfig,
+    ExperimentConfig,
+    ExtractionConfig,
+    MetaModelConfig,
+    NetworkConfig,
+)
+
+
+class TestDefaults:
+    def test_default_config_is_valid_metaseg(self):
+        config = ExperimentConfig()
+        assert config.kind == "metaseg"
+        assert config.seed == 0
+        assert config.validate() is config
+
+    def test_all_kinds_validate(self):
+        for kind in EXPERIMENT_KINDS:
+            ExperimentConfig(kind=kind).validate()
+
+    def test_sections_have_independent_defaults(self):
+        first = ExperimentConfig()
+        second = ExperimentConfig()
+        first.meta_models.classifiers.append("neural_network")
+        assert second.meta_models.classifiers == ["logistic"]
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            ExperimentConfig(kind="segmentation").validate()
+
+    def test_non_integer_seed(self):
+        with pytest.raises(ValueError, match="seed must be an integer"):
+            ExperimentConfig(seed="zero").validate()
+
+    @pytest.mark.parametrize(
+        "section, kwargs, message",
+        [
+            ("data", {"n_val": -1}, "split sizes"),
+            ("data", {"height": 8}, "at least 32x64"),
+            ("data", {"labeled_stride": 0}, "labeled_stride"),
+            ("network", {"profile": ""}, "profile name"),
+            ("extraction", {"chunk_size": 0}, "chunk_size"),
+            ("extraction", {"max_workers": 0}, "max_workers"),
+            ("extraction", {"connectivity": 6}, "connectivity"),
+            ("meta_models", {"classifiers": []}, "at least one classifier"),
+            ("meta_models", {"classification_penalty": -1.0}, "penalties"),
+            ("evaluation", {"n_runs": 0}, "n_runs"),
+            ("evaluation", {"train_fraction": 1.0}, "train_fraction"),
+            ("evaluation", {"split_fractions": [0.5, 0.5]}, "split_fractions"),
+            ("evaluation", {"n_frames_list": []}, "n_frames_list"),
+            ("evaluation", {"rules": []}, "rules"),
+            ("evaluation", {"category": ""}, "category"),
+        ],
+    )
+    def test_section_validation(self, section, kwargs, message):
+        section_types = {
+            "data": DataConfig,
+            "network": NetworkConfig,
+            "extraction": ExtractionConfig,
+            "meta_models": MetaModelConfig,
+            "evaluation": EvalConfig,
+        }
+        config = ExperimentConfig(**{section: section_types[section](**kwargs)})
+        with pytest.raises(ValueError, match=message):
+            config.validate()
+
+
+class TestSerialisation:
+    def _sample_config(self) -> ExperimentConfig:
+        return ExperimentConfig(
+            kind="timedynamic",
+            name="roundtrip",
+            seed=17,
+            data=DataConfig(dataset="kitti_like", n_sequences=3, n_frames=5),
+            network=NetworkConfig(profile="mobilenetv2", overrides={"miss_rate": 0.1}),
+            extraction=ExtractionConfig(chunk_size=4, max_workers=2),
+            meta_models=MetaModelConfig(
+                classifiers=["gradient_boosting"],
+                regressors=["gradient_boosting"],
+                model_params={"gradient_boosting": {"n_estimators": 10}},
+            ),
+            evaluation=EvalConfig(n_runs=2, n_frames_list=[0, 1], compositions=["R"]),
+        )
+
+    def test_dict_round_trip(self):
+        config = self._sample_config()
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip(self):
+        config = self._sample_config()
+        rebuilt = ExperimentConfig.from_json(config.to_json())
+        assert rebuilt == config
+        # JSON text itself is stable under a second round trip.
+        assert rebuilt.to_json() == config.to_json()
+
+    def test_to_dict_is_json_serialisable(self):
+        json.dumps(self._sample_config().to_dict())
+
+    def test_partial_dict_uses_defaults(self):
+        config = ExperimentConfig.from_dict({"kind": "decision", "seed": 2})
+        assert config.evaluation.rules == ["bayes", "ml"]
+        assert config.data.dataset == "cityscapes_like"
+
+    def test_sections_accept_dataclass_instances(self):
+        config = ExperimentConfig.from_dict({"data": DataConfig(n_val=5)})
+        assert config.data.n_val == 5
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown config keys: networks"):
+            ExperimentConfig.from_dict({"networks": {}})
+
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys in config section 'data': n_vall"):
+            ExperimentConfig.from_dict({"data": {"n_vall": 3}})
+
+    def test_non_dict_payloads_rejected(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            ExperimentConfig.from_dict(["kind"])
+        with pytest.raises(ValueError, match="section 'data' must be a dict"):
+            ExperimentConfig.from_dict({"data": 3})

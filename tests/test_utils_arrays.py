@@ -9,12 +9,33 @@ from repro.utils.arrays import (
     boundary_mask,
     crop_center,
     downsample_probability_field,
+    mean_std,
     one_hot,
     pad_to_shape,
     renormalise_probabilities,
     resize_bilinear,
     resize_nearest,
 )
+
+
+class TestMeanStd:
+    def test_matches_numpy_population_std(self):
+        values = [0.1, 0.4, 0.4, 0.9]
+        mean, std = mean_std(values)
+        assert mean == pytest.approx(np.mean(values))
+        assert std == pytest.approx(np.std(values, ddof=0))
+
+    def test_accepts_arrays_and_returns_floats(self):
+        mean, std = mean_std(np.array([1.0, 3.0]))
+        assert isinstance(mean, float) and isinstance(std, float)
+        assert (mean, std) == (2.0, 1.0)
+
+    def test_single_value_has_zero_std(self):
+        assert mean_std([0.5]) == (0.5, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            mean_std([])
 
 
 class TestOneHot:
