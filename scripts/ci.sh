@@ -13,7 +13,7 @@ echo "=== tier-1 test suite ==="
 python -m pytest -x -q
 
 echo "=== parity-fuzz suite ==="
-python -m pytest -q -m fuzz tests/test_segments_parity_fuzz.py
+python -m pytest -q -m fuzz tests/test_segments_parity_fuzz.py tests/test_api_execution.py
 
 echo "=== segment-matching benchmark (smoke) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
@@ -23,8 +23,13 @@ echo "=== runner-overhead benchmark (smoke) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
     python benchmarks/bench_runner_overhead.py --smoke
 
+echo "=== sharded-runner benchmark (smoke: bitwise parity at 2 workers) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_sharded_runner.py --smoke
+
 echo "=== experiment CLI (smoke) ==="
 python -m repro list
 python -m repro run examples/configs/metaseg_small.json
+python -m repro run examples/configs/metaseg_sharded.json
 
 echo "ci.sh: all stages passed"

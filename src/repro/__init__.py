@@ -96,10 +96,12 @@ from repro.decision import (
 # Imported last: the api.runner module builds on the pipelines above, and the
 # registries are populated by the imports above as a side effect.
 from repro.api import (
+    ConfigError,
     ExperimentConfig,
     DataConfig,
     NetworkConfig,
     ExtractionConfig,
+    ExecutionConfig,
     MetaModelConfig,
     EvalConfig,
     ExperimentReport,
@@ -156,10 +158,12 @@ __all__ = [
     "DecisionRuleComparison",
     "DecisionRuleResult",
     # unified experiment API
+    "ConfigError",
     "ExperimentConfig",
     "DataConfig",
     "NetworkConfig",
     "ExtractionConfig",
+    "ExecutionConfig",
     "MetaModelConfig",
     "EvalConfig",
     "ExperimentReport",

@@ -4,7 +4,10 @@ Three subcommands expose the unified experiment API headlessly:
 
 * ``python -m repro run config.json``       — execute an experiment config
   and print its Table-style summary (``--output report.json`` writes the
-  full report, ``--timings`` includes wall-clock stage timings);
+  full report, ``--timings`` includes wall-clock stage timings;
+  ``--backend``/``--workers``/``--streaming`` override the config's
+  execution section, e.g. ``--backend process --workers 4`` for sharded
+  multi-process execution — bitwise identical to serial);
 * ``python -m repro list``                  — show every registry and its
   entries (``--json`` for machine-readable output);
 * ``python -m repro describe KIND [NAME]``  — document one registry or one
@@ -23,7 +26,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.api.config import ExperimentConfig
+from repro.api.config import ConfigError, ExperimentConfig
 from repro.api.registry import RegistryError, all_registries
 
 
@@ -32,7 +35,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     path = Path(args.config)
     try:
-        config = ExperimentConfig.from_json(path.read_text())
+        # Deferred validation: a CLI override must be able to fix the very
+        # field it overrides (e.g. --workers 4 over a bad config value).
+        config = ExperimentConfig.from_json(path.read_text(), validate=False)
     except OSError as exc:
         print(f"error: cannot read config {path}: {exc}", file=sys.stderr)
         return 2
@@ -41,12 +46,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.seed is not None:
         config.seed = args.seed
+    if args.backend is not None:
+        config.execution.backend = args.backend
+    if args.workers is not None:
+        config.execution.workers = args.workers
+    if args.streaming is not None:
+        config.execution.streaming = args.streaming
+    try:
+        config.validate()
+    except ConfigError as exc:
+        print(f"error: invalid config {path}: {exc}", file=sys.stderr)
+        return 2
     report = Runner().run(config)
     print("\n".join(report.summary_rows()))
     if args.output:
         output = Path(args.output)
-        output.parent.mkdir(parents=True, exist_ok=True)
-        output.write_text(report.to_json(include_timings=args.timings) + "\n")
+        try:
+            output.parent.mkdir(parents=True, exist_ok=True)
+            output.write_text(report.to_json(include_timings=args.timings) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write report {output}: {exc}", file=sys.stderr)
+            return 2
         print(f"report written to {output}")
     elif args.timings:
         for stage, seconds in report.timings.items():
@@ -111,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--timings", action="store_true", help="include wall-clock stage timings"
     )
+    run.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="override the execution backend (serial/thread/process; "
+             "all bitwise identical)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="override the worker / shard count of the execution backend",
+    )
+    run.add_argument(
+        "--streaming", action=argparse.BooleanOptionalAction, default=None,
+        help="fold results chunk by chunk (peak memory O(chunk), same "
+             "numbers); --no-streaming overrides a config that enables it",
+    )
     run.set_defaults(func=_cmd_run)
 
     lst = sub.add_parser("list", help="list every registry and its entries")
@@ -132,7 +166,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except RegistryError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    except (ValueError, TypeError) as exc:
+    except (ValueError, TypeError, OSError) as exc:
+        # One-line diagnostic instead of a traceback: config errors
+        # (ConfigError is a ValueError) and I/O failures both land here.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -22,8 +22,10 @@ keep this package importable from anywhere without cycles.
 
 from repro.api.config import (
     EXPERIMENT_KINDS,
+    ConfigError,
     DataConfig,
     EvalConfig,
+    ExecutionConfig,
     ExperimentConfig,
     ExtractionConfig,
     MetaModelConfig,
@@ -33,6 +35,7 @@ from repro.api.registry import (
     ALL_REGISTRIES,
     DATASETS,
     DECISION_RULES,
+    EXECUTION_BACKENDS,
     META_CLASSIFIERS,
     META_REGRESSORS,
     METRIC_GROUPS,
@@ -46,12 +49,18 @@ from repro.api.registry import (
 _LAZY = ("Runner", "ExperimentReport", "ResolvedExperiment", "run_experiment",
          "derived_seeds", "DerivedSeeds")
 
+#: Names resolved lazily from repro.api.execution (imports the runner).
+_LAZY_EXECUTION = ("SerialBackend", "ThreadBackend", "ProcessBackend",
+                   "shard_ranges")
+
 __all__ = [
     "EXPERIMENT_KINDS",
+    "ConfigError",
     "ExperimentConfig",
     "DataConfig",
     "NetworkConfig",
     "ExtractionConfig",
+    "ExecutionConfig",
     "MetaModelConfig",
     "EvalConfig",
     "Registry",
@@ -63,8 +72,10 @@ __all__ = [
     "META_CLASSIFIERS",
     "META_REGRESSORS",
     "DECISION_RULES",
+    "EXECUTION_BACKENDS",
     "all_registries",
     *_LAZY,
+    *_LAZY_EXECUTION,
 ]
 
 
@@ -73,6 +84,10 @@ def __getattr__(name: str):
         from repro.api import runner
 
         return getattr(runner, name)
+    if name in _LAZY_EXECUTION:
+        from repro.api import execution
+
+        return getattr(execution, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

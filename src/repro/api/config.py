@@ -31,6 +31,24 @@ from typing import Dict, List, Optional, Sequence
 EXPERIMENT_KINDS = ("metaseg", "timedynamic", "decision")
 
 
+class ConfigError(ValueError):
+    """A structurally invalid experiment config.
+
+    Raised at parse time (:meth:`ExperimentConfig.from_dict` /
+    :meth:`ExperimentConfig.from_json`) and by :meth:`ExperimentConfig.
+    validate`, always naming the offending section and field, so a bad value
+    fails fast with an actionable message instead of blowing up deep inside
+    the execution layer.  Subclasses :class:`ValueError` so existing callers
+    that catch ``ValueError`` keep working.
+    """
+
+
+def _is_int(value: object) -> bool:
+    """True for genuine integers; bool is excluded (it subclasses int, so a
+    JSON ``true`` would otherwise silently count as 1)."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
 def _as_list(values: Sequence) -> list:
     """Normalise sequence fields to plain lists (JSON round-trip equality)."""
     return list(values)
@@ -57,13 +75,13 @@ class DataConfig:
 
     def validate(self) -> None:
         if self.n_train < 0 or self.n_val < 0:
-            raise ValueError("data: split sizes must be non-negative")
+            raise ConfigError("data: split sizes (n_train/n_val) must be non-negative")
         if self.height < 32 or self.width < 64:
-            raise ValueError("data: scenes must be at least 32x64 pixels")
+            raise ConfigError("data: scenes (height/width) must be at least 32x64 pixels")
         if self.n_sequences < 1 or self.n_frames < 1:
-            raise ValueError("data: n_sequences and n_frames must be >= 1")
+            raise ConfigError("data: n_sequences and n_frames must be >= 1")
         if self.labeled_stride < 1:
-            raise ValueError("data: labeled_stride must be >= 1")
+            raise ConfigError("data: labeled_stride must be >= 1")
 
 
 @dataclass
@@ -82,9 +100,9 @@ class NetworkConfig:
 
     def validate(self) -> None:
         if not self.profile:
-            raise ValueError("network: profile name must be non-empty")
+            raise ConfigError("network: profile name must be non-empty")
         if not isinstance(self.overrides, dict):
-            raise ValueError("network: overrides must be a dict")
+            raise ConfigError("network: overrides must be a dict")
 
 
 @dataclass
@@ -100,18 +118,66 @@ class ExtractionConfig:
     chunk_size: Optional[int] = None
     """Samples per streamed chunk; ``None`` uses the library default."""
     max_workers: Optional[int] = None
-    """Thread-pool width for per-sample fan-out; ``None`` runs serially."""
+    """Thread-pool width for per-sample fan-out.  ``None``, 0 and 1 all run
+    serially (the library-wide worker contract); negative values are
+    rejected at parse time."""
     connectivity: int = 8
     """Connectivity (4 or 8) of the segment decomposition (``metaseg``
     kind; the other kinds use the library default of 8)."""
 
     def validate(self) -> None:
-        if self.chunk_size is not None and self.chunk_size < 1:
-            raise ValueError("extraction: chunk_size must be >= 1")
-        if self.max_workers is not None and self.max_workers < 1:
-            raise ValueError("extraction: max_workers must be >= 1")
+        if self.chunk_size is not None and (
+            not _is_int(self.chunk_size) or self.chunk_size < 1
+        ):
+            raise ConfigError(
+                f"extraction: chunk_size must be an integer >= 1, "
+                f"got {self.chunk_size!r}"
+            )
+        if self.max_workers is not None and (
+            not _is_int(self.max_workers) or self.max_workers < 0
+        ):
+            raise ConfigError(
+                f"extraction: max_workers must be an integer >= 0 "
+                f"(None, 0 and 1 run serially), got {self.max_workers!r}"
+            )
         if self.connectivity not in (4, 8):
-            raise ValueError("extraction: connectivity must be 4 or 8")
+            raise ConfigError("extraction: connectivity must be 4 or 8")
+
+
+@dataclass
+class ExecutionConfig:
+    """How the Runner executes the dataset walk of an experiment.
+
+    ``backend`` names an entry of the ``execution_backends`` registry
+    (built-ins: ``serial``, ``thread``, ``process``); ``workers`` is the
+    thread-pool width or process-shard count (``None`` lets the backend pick
+    its default, 0/1 degenerate to serial execution, negative values are
+    rejected at parse time); ``streaming`` selects the never-concatenate
+    aggregation path that folds per-chunk results into running accumulators
+    so peak memory stays O(chunk) instead of O(dataset).
+
+    Every combination is bit-neutral: backends and streaming only change how
+    the work is scheduled, never the numbers.
+    """
+
+    backend: str = "serial"
+    workers: Optional[int] = None
+    streaming: bool = False
+
+    def validate(self) -> None:
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ConfigError(
+                f"execution: backend must be a non-empty string, got {self.backend!r}"
+            )
+        if self.workers is not None and (not _is_int(self.workers) or self.workers < 0):
+            raise ConfigError(
+                f"execution: workers must be an integer >= 0 "
+                f"(None, 0 and 1 run serially), got {self.workers!r}"
+            )
+        if not isinstance(self.streaming, bool):
+            raise ConfigError(
+                f"execution: streaming must be a boolean, got {self.streaming!r}"
+            )
 
 
 @dataclass
@@ -141,11 +207,11 @@ class MetaModelConfig:
 
     def validate(self) -> None:
         if not self.classifiers or not self.regressors:
-            raise ValueError("meta_models: need at least one classifier and one regressor")
+            raise ConfigError("meta_models: need at least one classifier and one regressor")
         if self.classification_penalty < 0 or self.regression_penalty < 0:
-            raise ValueError("meta_models: penalties must be non-negative")
+            raise ConfigError("meta_models: penalties must be non-negative")
         if not isinstance(self.model_params, dict):
-            raise ValueError("meta_models: model_params must be a dict")
+            raise ConfigError("meta_models: model_params must be a dict")
 
 
 @dataclass
@@ -176,21 +242,21 @@ class EvalConfig:
 
     def validate(self) -> None:
         if self.n_runs < 1:
-            raise ValueError("evaluation: n_runs must be >= 1")
+            raise ConfigError("evaluation: n_runs must be >= 1")
         if not 0.0 < self.train_fraction < 1.0:
-            raise ValueError("evaluation: train_fraction must be in (0, 1)")
+            raise ConfigError("evaluation: train_fraction must be in (0, 1)")
         if len(self.split_fractions) != 3 or abs(sum(self.split_fractions) - 1.0) > 1e-8:
-            raise ValueError("evaluation: split_fractions must be three values summing to 1")
+            raise ConfigError("evaluation: split_fractions must be three values summing to 1")
         if not self.n_frames_list or any(n < 0 for n in self.n_frames_list):
-            raise ValueError("evaluation: n_frames_list must be non-empty and non-negative")
+            raise ConfigError("evaluation: n_frames_list must be non-empty and non-negative")
         if not self.compositions:
-            raise ValueError("evaluation: compositions must be non-empty")
+            raise ConfigError("evaluation: compositions must be non-empty")
         if self.augmentation_factor < 0:
-            raise ValueError("evaluation: augmentation_factor must be non-negative")
+            raise ConfigError("evaluation: augmentation_factor must be non-negative")
         if not self.rules:
-            raise ValueError("evaluation: rules must be non-empty")
+            raise ConfigError("evaluation: rules must be non-empty")
         if not self.category:
-            raise ValueError("evaluation: category must be non-empty")
+            raise ConfigError("evaluation: category must be non-empty")
 
 
 #: Section name -> nested dataclass type, shared by from_dict/to_dict.
@@ -198,6 +264,7 @@ _SECTIONS = {
     "data": DataConfig,
     "network": NetworkConfig,
     "extraction": ExtractionConfig,
+    "execution": ExecutionConfig,
     "meta_models": MetaModelConfig,
     "evaluation": EvalConfig,
 }
@@ -218,6 +285,7 @@ class ExperimentConfig:
     data: DataConfig = field(default_factory=DataConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     extraction: ExtractionConfig = field(default_factory=ExtractionConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     meta_models: MetaModelConfig = field(default_factory=MetaModelConfig)
     evaluation: EvalConfig = field(default_factory=EvalConfig)
 
@@ -228,21 +296,33 @@ class ExperimentConfig:
         so this stays import-light and usable from anywhere.
         """
         if self.kind not in EXPERIMENT_KINDS:
-            raise ValueError(
+            raise ConfigError(
                 f"kind must be one of {EXPERIMENT_KINDS}, got {self.kind!r}"
             )
         if not isinstance(self.seed, int):
-            raise ValueError("seed must be an integer")
+            raise ConfigError("seed must be an integer")
         for section in _SECTIONS:
             getattr(self, section).validate()
         return self
 
     # ------------------------------------------------------------- (de)serialisation
     @classmethod
-    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentConfig":
-        """Build a config from a plain dict, rejecting unknown keys."""
+    def from_dict(
+        cls, payload: Dict[str, object], validate: bool = True
+    ) -> "ExperimentConfig":
+        """Build a config from a plain dict, rejecting unknown keys.
+
+        By default the built config is validated before it is returned, so
+        structurally invalid values (negative worker counts, zero chunk
+        sizes, bad fractions, ...) raise :class:`ConfigError` — naming the
+        section and field — at parse time instead of blowing up deep inside
+        the execution layer.  ``validate=False`` defers that to the caller,
+        for consumers that apply overrides before validating (the CLI flags:
+        an override must be able to fix the very field it overrides).
+        Structural errors (non-dict payloads, unknown keys) always raise.
+        """
         if not isinstance(payload, dict):
-            raise ValueError(f"config payload must be a dict, got {type(payload).__name__}")
+            raise ConfigError(f"config payload must be a dict, got {type(payload).__name__}")
         payload = dict(payload)
         kwargs: Dict[str, object] = {}
         for section, section_cls in _SECTIONS.items():
@@ -252,10 +332,11 @@ class ExperimentConfig:
             if scalar in payload:
                 kwargs[scalar] = payload.pop(scalar)
         if payload:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown config keys: {', '.join(sorted(map(str, payload)))}"
             )
-        return cls(**kwargs)
+        config = cls(**kwargs)
+        return config.validate() if validate else config
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict view containing only JSON-serialisable types."""
@@ -265,9 +346,9 @@ class ExperimentConfig:
         return out
 
     @classmethod
-    def from_json(cls, text: str) -> "ExperimentConfig":
-        """Parse a config from a JSON document."""
-        return cls.from_dict(json.loads(text))
+    def from_json(cls, text: str, validate: bool = True) -> "ExperimentConfig":
+        """Parse a config from a JSON document (see :meth:`from_dict`)."""
+        return cls.from_dict(json.loads(text), validate=validate)
 
     def to_json(self, indent: int = 2) -> str:
         """Serialise the config to JSON (round-trips through from_json)."""
@@ -279,11 +360,11 @@ def _section_from_dict(section_cls, payload: object, section: str):
     if isinstance(payload, section_cls):
         return payload
     if not isinstance(payload, dict):
-        raise ValueError(f"config section {section!r} must be a dict")
+        raise ConfigError(f"config section {section!r} must be a dict")
     known = {f.name for f in dataclasses.fields(section_cls)}
     unknown = set(payload) - known
     if unknown:
-        raise ValueError(
+        raise ConfigError(
             f"unknown keys in config section {section!r}: {', '.join(sorted(unknown))}"
         )
     return section_cls(**payload)

@@ -1,0 +1,414 @@
+"""Execution backends: how the Runner walks a dataset.
+
+The paper's protocols are embarrassingly parallel over images / sequences /
+evaluation samples, and every per-item computation in this library derives
+its randomness from ``(master_seed, item_index)``.  That makes the *walk*
+over the workload a pluggable concern: this module provides the string-keyed
+``execution_backends`` registry and its three built-in entries,
+
+* ``serial``  — in-process, item by item (the default; identical to the
+  pre-backend behaviour);
+* ``thread``  — in-process, fanning independent items across a thread pool
+  through the shared batched-execution layer (numpy releases the GIL in the
+  heavy kernels);
+* ``process`` — shards the ``DataConfig`` index ranges across a
+  ``concurrent.futures.ProcessPoolExecutor``.  Each shard worker receives a
+  picklable work spec (the config dict plus its index range), rebuilds the
+  substrate / network / pipeline from the config and the derived seeds, and
+  walks only its own indices; the parent merges the per-shard results in
+  shard order.
+
+Every backend also supports the ``streaming`` flag of
+:class:`~repro.api.config.ExecutionConfig`: the never-concatenate
+aggregation path that folds per-chunk results into running accumulators
+(:class:`repro.core.dataset.MetricsAccumulator`, the decision fold) so peak
+memory stays O(chunk) instead of O(dataset).
+
+The reproducibility contract is absolute: **backends only change how the
+work is scheduled, never the numbers.**  Per-item results are pure functions
+of ``(config, derived_seeds, item_index)``, all merges preserve item order,
+and the evaluation protocols (which consume one RNG stream) always run in
+the parent — so every backend / worker-count / streaming combination is
+bitwise identical to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from itertools import chain
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.api.config import ExecutionConfig, ExperimentConfig
+from repro.api.registry import EXECUTION_BACKENDS
+from repro.core.batching import normalize_max_workers, supports_cache_kwarg
+from repro.core.dataset import MetricsDataset
+
+
+def shard_ranges(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced, deterministic ``[start, stop)`` index ranges.
+
+    The first ``n_items % n_shards`` shards get one extra item; empty shards
+    are dropped.  Contiguity is what keeps the shard merge order-preserving
+    (shard *k* holds exactly the items serial execution would have processed
+    at positions ``start_k .. stop_k``).
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be non-negative, got {n_items}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, n_items) or 1
+    base, remainder = divmod(n_items, n_shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for shard in range(n_shards):
+        stop = start + base + (1 if shard < remainder else 0)
+        if stop > start:
+            ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+class _CountingIterator:
+    """Wraps an iterator, counting the items that pass through it.
+
+    Streaming walks cannot ``len()`` their input; the count feeds the
+    report's provenance (``n_images`` etc.) without materialising anything.
+    """
+
+    def __init__(self, items: Iterable) -> None:
+        self._items = iter(items)
+        self.count = 0
+
+    def __iter__(self) -> Iterator:
+        for item in self._items:
+            self.count += 1
+            yield item
+
+
+def _iter_split(dataset, split: str, cache: bool) -> Iterator:
+    """Lazily iterate one split, uncached where the substrate supports it."""
+    iterator = getattr(dataset, f"iter_{split}", None)
+    if iterator is not None:
+        if not cache and supports_cache_kwarg(iterator):
+            return iterator(cache=False)
+        return iterator()
+    return iter(getattr(dataset, f"{split}_samples")())
+
+
+def _iter_index_range(dataset, start: int, stop: int, cache: bool) -> Iterator:
+    """Lazily yield validation samples ``start..stop`` of a substrate."""
+    accessor = dataset.val_sample
+    pass_cache = not cache and supports_cache_kwarg(accessor)
+    for index in range(start, stop):
+        yield accessor(index, cache=False) if pass_cache else accessor(index)
+
+
+@EXECUTION_BACKENDS.register("serial")
+class SerialBackend:
+    """In-process, item-by-item execution (the deterministic default).
+
+    Also the base class of the other backends: it implements the three
+    kind-specific stage-1 walks (extraction / sequence processing / rule
+    comparison) against the pipelines' own batched-execution layer, and the
+    subclasses only change the worker count or the process fan-out.  The
+    evaluation protocols always run in the parent, on the merged stage-1
+    result, so they consume one RNG stream regardless of the backend.
+    """
+
+    name = "serial"
+
+    def __init__(self, execution: ExecutionConfig) -> None:
+        self.execution = execution
+        self.workers = normalize_max_workers(execution.workers)
+        self.streaming = bool(execution.streaming)
+
+    # ------------------------------------------------------------------ ---
+    def _pipeline_workers(self) -> Optional[int]:
+        """Worker count handed to the pipeline calls.
+
+        ``None`` defers to the pipeline's extraction-config default, which
+        for the serial backend preserves the pre-backend behaviour exactly.
+        """
+        return None
+
+    def default_workers(self) -> int:
+        """Effective worker count under the library-wide contract.
+
+        ``None`` lets the backend use the machine's core count; explicit 0
+        and 1 mean serial (never "pick for me"), matching the documented
+        ``ExecutionConfig`` semantics.
+        """
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return max(1, self.workers)
+
+    # ------------------------------------------------------- metaseg stage 1
+    def extract_metaseg(self, runner, resolved, pipeline) -> Tuple[MetricsDataset, int]:
+        """Extract the full metrics dataset; returns (dataset, n_images)."""
+        if self.streaming:
+            counter = _CountingIterator(_iter_split(resolved.dataset, "val", cache=False))
+            try:
+                metrics = pipeline.extract_dataset_streaming(
+                    counter, max_workers=self._pipeline_workers()
+                )
+            except ValueError as exc:
+                # Only rewrite the pipeline's own empty-input error; any other
+                # ValueError is a real dataset/extraction problem and must
+                # surface unchanged.
+                if counter.count == 0 and str(exc) == "no samples provided":
+                    raise ValueError(
+                        "metaseg needs data.n_val >= 1 evaluation samples"
+                    ) from None
+                raise
+            return metrics, counter.count
+        samples = resolved.dataset.val_samples()
+        if not samples:
+            raise ValueError("metaseg needs data.n_val >= 1 evaluation samples")
+        metrics = pipeline.extract_dataset_batched(
+            samples, max_workers=self._pipeline_workers()
+        )
+        return metrics, len(samples)
+
+    # --------------------------------------------------- timedynamic stage 1
+    def process_timedynamic(self, runner, resolved, pipeline) -> List:
+        """Process every sequence; returns the ordered SequenceMetrics list.
+
+        The compact per-sequence metrics are the protocol's input, so the
+        list itself is O(segments); ``streaming`` additionally regenerates
+        and releases the raw frames sequence by sequence instead of caching
+        the pixel data of the whole dataset (and keeps any requested thread
+        fan-out — the two are orthogonal).
+        """
+        return pipeline.process_dataset(
+            resolved.dataset,
+            max_workers=self._pipeline_workers(),
+            cache=not self.streaming,
+        )
+
+    # ------------------------------------------------------ decision stage 1
+    @staticmethod
+    def _check_decision_splits(dataset) -> None:
+        """Fail with the actionable config error before priors are fitted.
+
+        ``fit_priors`` would otherwise raise its own (less actionable)
+        error on an empty training stream.
+        """
+        if getattr(dataset, "n_train", None) == 0 or getattr(dataset, "n_val", None) == 0:
+            raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
+
+    def compare_decision(self, runner, resolved, comparison, timer) -> Tuple:
+        """Fit priors and compare rules; returns (result, n_train, n_val)."""
+        config = resolved.config
+        if self.streaming:
+            self._check_decision_splits(resolved.dataset)
+            train = _CountingIterator(_iter_split(resolved.dataset, "train", cache=False))
+            with timer("fit_priors"):
+                comparison.fit_priors(train)
+            if not train.count:
+                raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
+            with timer("evaluate"):
+                result, n_val = comparison.compare_streaming(
+                    _iter_split(resolved.dataset, "val", cache=False),
+                    rules=resolved.rules,
+                    strengths=config.evaluation.strengths,
+                    max_workers=self._pipeline_workers(),
+                )
+            return result, train.count, n_val
+        train_samples = resolved.dataset.train_samples()
+        val_samples = resolved.dataset.val_samples()
+        if not train_samples or not val_samples:
+            raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
+        with timer("fit_priors"):
+            comparison.fit_priors(train_samples)
+        with timer("evaluate"):
+            result = comparison.compare(
+                val_samples,
+                rules=resolved.rules,
+                strengths=config.evaluation.strengths,
+                max_workers=self._pipeline_workers(),
+            )
+        return result, len(train_samples), len(val_samples)
+
+
+@EXECUTION_BACKENDS.register("thread")
+class ThreadBackend(SerialBackend):
+    """Thread-pool fan-out of independent items (order-preserving).
+
+    Identical to ``serial`` except that the per-item work of each walk is
+    handed ``workers`` threads through the pipelines' batched-execution
+    layer.  Results are merged in input order, so the numbers are bitwise
+    equal to serial for every worker count.
+    """
+
+    name = "thread"
+
+    def _pipeline_workers(self) -> Optional[int]:
+        return self.default_workers()
+
+
+# ---------------------------------------------------------- process workers
+# Module-level functions so they are picklable; each rebuilds its components
+# from the shipped config (bit-identical thanks to per-index derived seeds)
+# and walks only its own index range.  The workers never consult the config's
+# execution section, so there is no recursive fan-out.
+
+
+def _shard_runner_and_config(spec: Dict) -> Tuple:
+    """(runner, resolved) for one shard spec, rebuilt from the config dict."""
+    from repro.api.runner import Runner
+
+    config = ExperimentConfig.from_dict(spec["config"])
+    runner = Runner()
+    return runner, runner.resolve(config)
+
+
+def _metaseg_shard(spec: Dict) -> MetricsDataset:
+    """Extract the metrics of validation samples ``start..stop`` of the config."""
+    runner, resolved = _shard_runner_and_config(spec)
+    pipeline = runner.build_metaseg_pipeline(resolved)
+    samples = _iter_index_range(
+        resolved.dataset, spec["start"], spec["stop"], cache=False
+    )
+    # The streaming fold keeps the shard's transient memory O(chunk) and is
+    # bitwise identical to the batched path.  Workers run their extraction
+    # serially (max_workers=0, like the decision shard): the process fan-out
+    # already claims the cores, and letting extraction.max_workers open a
+    # nested thread pool per shard would oversubscribe them.
+    return pipeline.extract_dataset_streaming(
+        samples, index_offset=spec["start"], max_workers=0
+    )
+
+
+def _timedynamic_shard(spec: Dict) -> List:
+    """Process sequences ``start..stop`` of the config."""
+    runner, resolved = _shard_runner_and_config(spec)
+    pipeline = runner.build_timedynamic_pipeline(resolved)
+    return list(
+        pipeline.iter_process_dataset(
+            resolved.dataset, start=spec["start"], stop=spec["stop"], cache=False
+        )
+    )
+
+
+def _decision_shard(spec: Dict) -> List:
+    """Per-sample rule results of validation samples ``start..stop``.
+
+    The parent ships the fitted priors (fitting them once is cheaper than
+    refitting per worker, and trivially bit-identical); the fold over the
+    concatenated per-sample streams happens in the parent.
+    """
+    runner, resolved = _shard_runner_and_config(spec)
+    comparison = runner.build_decision_comparison(resolved)
+    comparison.set_priors(spec["priors"])
+    samples = _iter_index_range(
+        resolved.dataset, spec["start"], spec["stop"], cache=False
+    )
+    return list(
+        comparison.iter_compare_samples(
+            samples,
+            rules=resolved.rules,
+            index_offset=spec["start"],
+            strengths=resolved.config.evaluation.strengths,
+            max_workers=0,
+        )
+    )
+
+
+@EXECUTION_BACKENDS.register("process")
+class ProcessBackend(SerialBackend):
+    """Sharded multi-process execution over ``DataConfig`` index ranges.
+
+    The parent splits the workload's index range into ``workers`` contiguous
+    shards (:func:`shard_ranges`), ships each worker a picklable spec (the
+    config dict plus its ``[start, stop)`` range, and for the decision kind
+    the fitted priors), and merges the per-shard results **in shard index
+    order** — which, because shards are contiguous, is exactly input order,
+    so the merged stage-1 result is bitwise identical to serial.  The
+    evaluation protocol then runs in the parent on the merged result.
+
+    Requires a substrate with per-index accessors (``val_sample(i)`` /
+    ``samples(i)``), which every built-in substrate provides; with a single
+    worker (or a single-item workload) it degenerates to the serial walk.
+    The same seam extends to multi-machine sharding: a remote worker that
+    receives the spec dict produces the identical shard payload.
+    """
+
+    name = "process"
+
+    def _specs(self, resolved, n_items: int) -> List[Dict]:
+        config_dict = resolved.config.to_dict()
+        return [
+            {"config": config_dict, "start": start, "stop": stop}
+            for start, stop in shard_ranges(n_items, self.default_workers())
+        ]
+
+    def _map_shards(self, worker, specs: List[Dict]) -> List:
+        """Run the shard specs on a process pool, results in shard order."""
+        with ProcessPoolExecutor(max_workers=len(specs)) as pool:
+            return list(pool.map(worker, specs))
+
+    def _use_fallback(self, n_items: int) -> bool:
+        """Serial fallback when fan-out cannot help (one worker / one item)."""
+        return self.default_workers() <= 1 or n_items <= 1
+
+    @staticmethod
+    def _sharded_workload_size(dataset, size_attribute: str, accessor: str = "val_sample") -> int:
+        """Size of the shardable index range, or a clear capability error.
+
+        A missing attribute means the substrate cannot be index-sharded —
+        which is a backend-choice problem, not an empty dataset — so the two
+        cases get distinct messages.
+        """
+        size = getattr(dataset, size_attribute, None)
+        if size is None or not hasattr(dataset, accessor):
+            raise ValueError(
+                f"the process backend shards index ranges and needs a dataset "
+                f"substrate exposing {size_attribute!r} and {accessor!r}; "
+                f"use backend 'serial' or 'thread' for this substrate"
+            )
+        return int(size)
+
+    # ------------------------------------------------------------------ ---
+    def extract_metaseg(self, runner, resolved, pipeline) -> Tuple[MetricsDataset, int]:
+        n_val = self._sharded_workload_size(resolved.dataset, "n_val")
+        if not n_val:
+            raise ValueError("metaseg needs data.n_val >= 1 evaluation samples")
+        if self._use_fallback(n_val):
+            return super().extract_metaseg(runner, resolved, pipeline)
+        shards = self._map_shards(_metaseg_shard, self._specs(resolved, n_val))
+        return MetricsDataset.concatenate(shards), n_val
+
+    def process_timedynamic(self, runner, resolved, pipeline) -> List:
+        n_sequences = self._sharded_workload_size(
+            resolved.dataset, "n_sequences", accessor="samples"
+        )
+        if self._use_fallback(n_sequences):
+            return super().process_timedynamic(runner, resolved, pipeline)
+        shards = self._map_shards(_timedynamic_shard, self._specs(resolved, n_sequences))
+        return list(chain.from_iterable(shards))
+
+    def compare_decision(self, runner, resolved, comparison, timer) -> Tuple:
+        n_val = self._sharded_workload_size(resolved.dataset, "n_val")
+        if self._use_fallback(n_val):
+            return super().compare_decision(runner, resolved, comparison, timer)
+        self._check_decision_splits(resolved.dataset)
+        train = _CountingIterator(_iter_split(resolved.dataset, "train", cache=False))
+        with timer("fit_priors"):
+            priors = comparison.fit_priors(train)
+        if not train.count:  # n_val >= 2 here, or the serial fallback ran
+            raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
+        specs = self._specs(resolved, n_val)
+        for spec in specs:
+            spec["priors"] = priors
+        with timer("evaluate"):
+            shards = self._map_shards(_decision_shard, specs)
+            result, folded = comparison.fold_compare_results(
+                chain.from_iterable(shards), rules=resolved.rules
+            )
+        if folded != n_val:
+            raise RuntimeError(
+                f"shard merge folded {folded} samples but the dataset "
+                f"advertises n_val={n_val}; a shard dropped or duplicated work"
+            )
+        return result, train.count, n_val

@@ -141,7 +141,10 @@ class Registry:
 # * META_CLASSIFIERS   — factories ``(**kwargs) -> MetaClassifier`` with the
 #                        model family baked in;
 # * META_REGRESSORS    — factories ``(**kwargs) -> MetaRegressor``;
-# * DECISION_RULES     — the decision-rule callables of repro.decision.rules.
+# * DECISION_RULES     — the decision-rule callables of repro.decision.rules;
+# * EXECUTION_BACKENDS — factories ``(execution: ExecutionConfig) ->
+#                        ExecutionBackend`` deciding how the Runner walks a
+#                        dataset (serial / thread pool / sharded processes).
 # --------------------------------------------------------------------------
 
 NETWORK_PROFILES = Registry(
@@ -162,6 +165,9 @@ META_REGRESSORS = Registry(
 DECISION_RULES = Registry(
     "decision_rules", "pixel-wise decision rules on the softmax output"
 )
+EXECUTION_BACKENDS = Registry(
+    "execution_backends", "how the Runner executes a dataset walk (serial/thread/process)"
+)
 
 #: All registries by kind, in display order.
 ALL_REGISTRIES: Dict[str, Registry] = {
@@ -173,6 +179,7 @@ ALL_REGISTRIES: Dict[str, Registry] = {
         META_CLASSIFIERS,
         META_REGRESSORS,
         DECISION_RULES,
+        EXECUTION_BACKENDS,
     )
 }
 
@@ -200,6 +207,7 @@ def _load_builtins() -> None:
         return
     _BUILTINS_LOADED = True
     try:
+        import repro.api.execution  # noqa: F401
         import repro.core.meta_classification  # noqa: F401
         import repro.core.meta_regression  # noqa: F401
         import repro.core.metrics  # noqa: F401

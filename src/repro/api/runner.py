@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Union
 
@@ -25,6 +26,7 @@ from repro.api.config import ExperimentConfig
 from repro.api.registry import (
     DATASETS,
     DECISION_RULES,
+    EXECUTION_BACKENDS,
     META_CLASSIFIERS,
     META_REGRESSORS,
     METRIC_GROUPS,
@@ -196,20 +198,28 @@ class Runner:
     """
 
     def run(self, config: Union[ExperimentConfig, Dict[str, object]]) -> ExperimentReport:
-        """Execute one experiment and return its unified report."""
+        """Execute one experiment and return its unified report.
+
+        The dataset walk is delegated to the execution backend named by
+        ``config.execution.backend`` (``serial`` / ``thread`` / ``process``,
+        resolved through the ``execution_backends`` registry); every backend
+        is bitwise identical to serial, so the choice is purely about
+        wall-clock and memory.
+        """
         if isinstance(config, dict):
             config = ExperimentConfig.from_dict(config)
         config.validate()
         timings: Dict[str, float] = {}
         start = time.perf_counter()
         resolved = self.resolve(config)
+        backend = EXECUTION_BACKENDS.get(config.execution.backend)(config.execution)
         timings["resolve"] = time.perf_counter() - start
         runner = {
             "metaseg": self._run_metaseg,
             "timedynamic": self._run_timedynamic,
             "decision": self._run_decision,
         }[config.kind]
-        report = runner(resolved, timings)
+        report = runner(resolved, backend, timings)
         timings["total"] = time.perf_counter() - start
         report.timings = timings
         return report
@@ -222,6 +232,8 @@ class Runner:
         names) on any unknown component name, before anything expensive runs.
         """
         seeds = derived_seeds(config.seed)
+        # Backend first: it is the cheapest lookup and gates everything else.
+        EXECUTION_BACKENDS.get(config.execution.backend)
         profile = NETWORK_PROFILES.get(config.network.profile)()
         if config.network.overrides:
             profile = profile.with_overrides(**config.network.overrides)
@@ -295,23 +307,69 @@ class Runner:
             kind=config.kind, name=config.name, seed=config.seed, config=config.to_dict()
         )
 
-    def _run_metaseg(
-        self, resolved: ResolvedExperiment, timings: Dict[str, float]
-    ) -> ExperimentReport:
+    @staticmethod
+    @contextmanager
+    def _timer(timings: Dict[str, float], stage: str):
+        """Record the wall-clock seconds of one stage into *timings*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            timings[stage] = time.perf_counter() - start
+
+    # ----------------------------------------------------- pipeline factories
+    # Shared by the in-process kind runners and the process-backend shard
+    # workers (repro.api.execution), so a shard rebuilds exactly the pipeline
+    # the parent would have used.
+
+    def build_metaseg_pipeline(self, resolved: ResolvedExperiment) -> MetaSegPipeline:
+        """The MetaSeg pipeline of a resolved config."""
         config = resolved.config
-        pipeline = MetaSegPipeline(
+        return MetaSegPipeline(
             resolved.network,
             connectivity=config.extraction.connectivity,
             classification_penalty=config.meta_models.classification_penalty,
             regression_penalty=config.meta_models.regression_penalty,
             extraction=config.extraction,
         )
-        samples = resolved.dataset.val_samples()
-        if not samples:
-            raise ValueError("metaseg needs data.n_val >= 1 evaluation samples")
-        start = time.perf_counter()
-        metrics = pipeline.extract_dataset_batched(samples)
-        timings["extract"] = time.perf_counter() - start
+
+    def build_timedynamic_pipeline(self, resolved: ResolvedExperiment) -> TimeDynamicPipeline:
+        """The time-dynamic pipeline of a resolved config."""
+        config = resolved.config
+        params = config.meta_models.model_params
+        pipeline_kwargs = {}
+        if resolved.feature_subset is not None:
+            # The metric-group restriction maps to the base features tracked
+            # over time (the full time-series vector is built from them).
+            pipeline_kwargs["base_features"] = resolved.feature_subset
+        return TimeDynamicPipeline(
+            test_network=resolved.network,
+            reference_network=resolved.reference_network,
+            classification_penalty=config.meta_models.classification_penalty,
+            regression_penalty=config.meta_models.regression_penalty,
+            gradient_boosting_params=params.get("gradient_boosting"),
+            neural_network_params=params.get("neural_network"),
+            extraction=config.extraction,
+            **pipeline_kwargs,
+        )
+
+    def build_decision_comparison(self, resolved: ResolvedExperiment) -> DecisionRuleComparison:
+        """The decision-rule comparison of a resolved config."""
+        config = resolved.config
+        return DecisionRuleComparison(
+            resolved.network,
+            category=config.evaluation.category,
+            extraction=config.extraction,
+        )
+
+    # ------------------------------------------------------------------ ---
+    def _run_metaseg(
+        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float]
+    ) -> ExperimentReport:
+        config = resolved.config
+        pipeline = self.build_metaseg_pipeline(resolved)
+        with self._timer(timings, "extract"):
+            metrics, n_images = backend.extract_metaseg(self, resolved, pipeline)
         start = time.perf_counter()
         result = pipeline.run_table1_protocol(
             metrics,
@@ -328,7 +386,7 @@ class Runner:
         report = self._report(resolved)
         report.provenance.update(
             network=result.network_name,
-            n_images=len(samples),
+            n_images=n_images,
             n_segments=result.n_segments,
             false_positive_fraction=result.false_positive_fraction,
             n_runs=result.n_runs,
@@ -348,28 +406,12 @@ class Runner:
         return report
 
     def _run_timedynamic(
-        self, resolved: ResolvedExperiment, timings: Dict[str, float]
+        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float]
     ) -> ExperimentReport:
         config = resolved.config
-        params = config.meta_models.model_params
-        pipeline_kwargs = {}
-        if resolved.feature_subset is not None:
-            # The metric-group restriction maps to the base features tracked
-            # over time (the full time-series vector is built from them).
-            pipeline_kwargs["base_features"] = resolved.feature_subset
-        pipeline = TimeDynamicPipeline(
-            test_network=resolved.network,
-            reference_network=resolved.reference_network,
-            classification_penalty=config.meta_models.classification_penalty,
-            regression_penalty=config.meta_models.regression_penalty,
-            gradient_boosting_params=params.get("gradient_boosting"),
-            neural_network_params=params.get("neural_network"),
-            extraction=config.extraction,
-            **pipeline_kwargs,
-        )
-        start = time.perf_counter()
-        sequences = pipeline.process_dataset(resolved.dataset)
-        timings["process"] = time.perf_counter() - start
+        pipeline = self.build_timedynamic_pipeline(resolved)
+        with self._timer(timings, "process"):
+            sequences = backend.process_timedynamic(self, resolved, pipeline)
         start = time.perf_counter()
         result = pipeline.run_protocol(
             sequences,
@@ -409,35 +451,21 @@ class Runner:
         return report
 
     def _run_decision(
-        self, resolved: ResolvedExperiment, timings: Dict[str, float]
+        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float]
     ) -> ExperimentReport:
-        config = resolved.config
-        comparison = DecisionRuleComparison(
-            resolved.network,
-            category=config.evaluation.category,
-            extraction=config.extraction,
+        comparison = self.build_decision_comparison(resolved)
+        def timer(stage):
+            return self._timer(timings, stage)
+        result, n_train, n_val = backend.compare_decision(
+            self, resolved, comparison, timer
         )
-        train_samples = resolved.dataset.train_samples()
-        val_samples = resolved.dataset.val_samples()
-        if not train_samples or not val_samples:
-            raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
-        start = time.perf_counter()
-        comparison.fit_priors(train_samples)
-        timings["fit_priors"] = time.perf_counter() - start
-        start = time.perf_counter()
-        result = comparison.compare(
-            val_samples,
-            rules=resolved.rules,
-            strengths=config.evaluation.strengths,
-        )
-        timings["evaluate"] = time.perf_counter() - start
 
         report = self._report(resolved)
         report.provenance.update(
             network=result.network_name,
             category=result.category,
-            n_train_images=len(train_samples),
-            n_val_images=len(val_samples),
+            n_train_images=n_train,
+            n_val_images=n_val,
         )
         report.tables = {
             "rules": _table_rows(

@@ -21,6 +21,7 @@ parallelism without requiring the work items to be picklable.
 
 from __future__ import annotations
 
+import inspect
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
@@ -44,7 +45,44 @@ def extraction_defaults(extraction) -> "tuple[int, Optional[int]]":
     chunk_size = (
         DEFAULT_CHUNK_SIZE if extraction.chunk_size is None else int(extraction.chunk_size)
     )
-    return chunk_size, extraction.max_workers
+    return chunk_size, normalize_max_workers(extraction.max_workers)
+
+
+def normalize_max_workers(
+    max_workers: Optional[int], default: Optional[int] = None
+) -> Optional[int]:
+    """The library-wide worker-count contract, in one place.
+
+    ``None`` falls back to *default* (itself normalised); ``None``, 0 and 1
+    all mean serial execution; negative values raise :class:`ValueError`.
+    All three pipelines route their ``max_workers`` keyword arguments through
+    this function, so the contract cannot drift between call sites.
+    """
+    if max_workers is None:
+        if default is None:
+            return None
+        max_workers = default
+    max_workers = int(max_workers)
+    if max_workers < 0:
+        raise ValueError(
+            f"max_workers must be >= 0 (None, 0 and 1 run serially), got {max_workers}"
+        )
+    return max_workers
+
+
+def supports_cache_kwarg(accessor: Callable) -> bool:
+    """Whether a dataset accessor accepts the ``cache`` keyword argument.
+
+    The built-in substrates' sample accessors do (``cache=False`` powers the
+    memory-bounded streaming walks); custom registered substrates may not,
+    in which case callers fall back to the default cached accessor — still
+    correct, just without the memory bound.  One probe shared by every
+    streaming call site so the capability contract cannot drift.
+    """
+    try:
+        return "cache" in inspect.signature(accessor).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
 
 
 def chunked(items: Iterable[ItemT], chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[List[ItemT]]:
@@ -65,6 +103,29 @@ def chunked(items: Iterable[ItemT], chunk_size: int = DEFAULT_CHUNK_SIZE) -> Ite
         yield chunk
 
 
+def iter_indexed_chunks(
+    items: Iterable[ItemT],
+    chunk_size: int,
+    max_workers: Optional[int],
+    index_offset: int = 0,
+) -> Iterator[List["tuple[int, ItemT]"]]:
+    """Yield ``(global_index, item)`` pairs, one pool-ready chunk at a time.
+
+    The shared walk of every streamed fan-out path: items are consumed
+    lazily (memory stays bounded by one chunk), each item is paired with its
+    global index (``index_offset`` + position, which seeds the per-item
+    RNG), and chunks widen to several pool-widths so a ThreadPoolExecutor is
+    amortised over many items and the per-chunk barrier rarely idles a
+    worker.  One implementation keeps the widening/bookkeeping contract from
+    drifting between pipelines.
+    """
+    position = index_offset
+    for chunk in chunked(items, max(chunk_size, 4 * (max_workers or 0))):
+        indexed = list(zip(range(position, position + len(chunk)), chunk))
+        position += len(chunk)
+        yield indexed
+
+
 def map_ordered(
     fn: Callable[[ItemT], ResultT],
     items: Sequence[ItemT],
@@ -72,15 +133,16 @@ def map_ordered(
 ) -> List[ResultT]:
     """Apply ``fn`` to every item, preserving input order in the results.
 
-    ``max_workers`` of ``None``, 0 or 1 runs serially (deterministic default);
-    larger values fan the items out across a thread pool.  Either way the
+    ``max_workers`` follows the library-wide contract of
+    :func:`normalize_max_workers`: ``None``, 0 and 1 run serially
+    (deterministic default), larger values fan the items out across a thread
+    pool, and negative values raise :class:`ValueError`.  Either way the
     returned list is ordered like ``items``, so downstream reductions (metric
     concatenation, accuracy sums) produce bit-identical results regardless of
     the worker count.
     """
     items = list(items)
-    if max_workers is not None and max_workers < 0:
-        raise ValueError(f"max_workers must be >= 0, got {max_workers}")
+    max_workers = normalize_max_workers(max_workers)
     if max_workers is None or max_workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     with ThreadPoolExecutor(max_workers=min(max_workers, len(items))) as pool:

@@ -18,8 +18,13 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 import numpy as np
 
 from repro.api.registry import META_CLASSIFIERS, META_REGRESSORS
-from repro.core.batching import chunked, extraction_defaults, map_ordered
-from repro.core.dataset import MetricsDataset
+from repro.core.batching import (
+    extraction_defaults,
+    iter_indexed_chunks,
+    map_ordered,
+    normalize_max_workers,
+)
+from repro.core.dataset import MetricsAccumulator, MetricsDataset
 from repro.core.meta_classification import MetaClassifier, naive_baseline_accuracy
 from repro.core.meta_regression import MetaRegressor
 from repro.core.metrics import METRIC_GROUPS, SegmentMetricsExtractor
@@ -134,25 +139,25 @@ class MetaSegPipeline:
     ) -> Iterable[List[MetricsDataset]]:
         """Yield the per-image datasets of one chunk of samples at a time.
 
-        Chunks are widened to ``max_workers`` when that is larger than
-        ``chunk_size``, so the requested parallelism is actually achievable
-        (a chunk is the unit fanned out to the pool).
+        Chunks widen beyond ``chunk_size`` when workers are requested (see
+        :func:`repro.core.batching.iter_indexed_chunks`), so the parallelism
+        is actually achievable — a chunk is the unit fanned out to the pool.
         """
-        position = index_offset
-        for chunk in chunked(samples, max(chunk_size, max_workers or 0)):
-            indexed = list(zip(range(position, position + len(chunk)), chunk))
-            position += len(chunk)
+        for indexed in iter_indexed_chunks(samples, chunk_size, max_workers, index_offset):
             yield map_ordered(self._extract_one, indexed, max_workers=max_workers)
 
     def _resolve_execution(
         self, chunk_size: Optional[int], max_workers: Optional[int]
     ) -> Tuple[int, Optional[int]]:
-        """Fill unset execution parameters from the pipeline-level defaults."""
+        """Fill unset execution parameters from the pipeline-level defaults.
+
+        Worker counts follow the library-wide contract of
+        :func:`repro.core.batching.normalize_max_workers` (None/0/1 serial,
+        negative rejected).
+        """
         if chunk_size is None:
             chunk_size = self._default_chunk_size
-        if max_workers is None:
-            max_workers = self._default_max_workers
-        return chunk_size, max_workers
+        return chunk_size, normalize_max_workers(max_workers, self._default_max_workers)
 
     def iter_extract_batched(
         self,
@@ -165,13 +170,15 @@ class MetaSegPipeline:
 
         Yields one concatenated :class:`MetricsDataset` per chunk of samples
         instead of accumulating per-image datasets in a Python list, so the
-        peak memory is bounded by ``chunk_size`` regardless of the dataset
+        peak memory is bounded by the chunk size regardless of the dataset
         size.  ``max_workers`` > 1 fans the per-sample work of each chunk out
-        across a thread pool (chunks widen to ``max_workers`` if that is
-        larger, so all requested workers get work); results are
-        order-preserving either way, so the streamed parts are bit-identical
-        to a serial run.  Unset parameters fall back to the pipeline's
-        extraction config (serial, default chunk size when none was given).
+        across a thread pool; chunks then widen to several pool-widths (see
+        :func:`repro.core.batching.iter_indexed_chunks`), so the effective
+        memory bound is ``max(chunk_size, 4 * max_workers)`` samples.
+        Results are order-preserving either way, so the streamed parts are
+        bit-identical to a serial run.  Unset parameters fall back to the
+        pipeline's extraction config (serial, default chunk size when none
+        was given).
         """
         chunk_size, max_workers = self._resolve_execution(chunk_size, max_workers)
         for parts in self._iter_extract_parts(samples, index_offset, chunk_size, max_workers):
@@ -201,6 +208,33 @@ class MetaSegPipeline:
         if not parts:
             raise ValueError("no samples provided")
         return MetricsDataset.concatenate(parts)
+
+    def extract_dataset_streaming(
+        self,
+        samples: Iterable[SegmentationSample],
+        index_offset: int = 0,
+        chunk_size: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> MetricsDataset:
+        """Never-concatenate variant of :meth:`extract_dataset_batched`.
+
+        Consumes :meth:`iter_extract_batched` and folds every streamed chunk
+        into a :class:`repro.core.dataset.MetricsAccumulator` as it arrives,
+        so neither the sample list nor the list of per-image parts is ever
+        materialised: the peak transient memory is one chunk of samples plus
+        the output buffers, instead of O(dataset).  The accumulated rows are
+        plain copies, so the result is bitwise identical to the batched and
+        serial paths for every configuration.
+        """
+        accumulator = MetricsAccumulator()
+        for chunk in self.iter_extract_batched(
+            samples, index_offset=index_offset,
+            chunk_size=chunk_size, max_workers=max_workers,
+        ):
+            accumulator.add(chunk)
+        if accumulator.empty:
+            raise ValueError("no samples provided")
+        return accumulator.result()
 
     # ------------------------------------------------------------------ ---
     def run_table1_protocol(

@@ -14,12 +14,17 @@ Protocol:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.registry import DECISION_RULES
-from repro.core.batching import extraction_defaults, map_ordered
+from repro.core.batching import (
+    extraction_defaults,
+    iter_indexed_chunks,
+    map_ordered,
+    normalize_max_workers,
+)
 from repro.decision.evaluation import ClassPrecisionRecall, collect_precision_recall
 from repro.decision.priors import PixelPriorEstimator
 from repro.decision.rules import apply_rule
@@ -85,11 +90,24 @@ class DecisionRuleComparison:
         self._priors: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ ---
-    def fit_priors(self, samples: Sequence[SegmentationSample]) -> np.ndarray:
-        """Estimate position-specific priors from training samples (Fig. 4)."""
+    def fit_priors(self, samples: "Iterable[SegmentationSample]") -> np.ndarray:
+        """Estimate position-specific priors from training samples (Fig. 4).
+
+        Accepts any iterable (consumed once), so a lazy sample stream works
+        without materialising the training split.
+        """
         self.prior_estimator.fit(sample.labels for sample in samples)
         self._priors = self.prior_estimator.priors()
         return self._priors
+
+    def set_priors(self, priors: np.ndarray) -> None:
+        """Install an externally fitted (H, W, C) prior field.
+
+        Used by the sharded execution backend: the parent process fits the
+        priors once and ships the array to the shard workers, which is both
+        cheaper than refitting per worker and trivially bit-identical.
+        """
+        self._priors = np.asarray(priors, dtype=np.float64)
 
     @property
     def priors(self) -> np.ndarray:
@@ -140,6 +158,68 @@ class DecisionRuleComparison:
             out[rule] = (precision, recall, pixel_accuracy(sample.labels, decoded))
         return out
 
+    def iter_compare_samples(
+        self,
+        samples: "Iterable[SegmentationSample]",
+        rules: Sequence[str] = ("bayes", "ml"),
+        index_offset: int = 0,
+        strengths: Optional[Dict[str, float]] = None,
+        max_workers: Optional[int] = None,
+        chunk_size: int = 8,
+    ) -> "Iterable[Dict[str, Tuple[List[float], List[float], float]]]":
+        """Yield the per-sample rule results in sample order.
+
+        The lazy producer side of :meth:`compare`: samples are consumed one
+        chunk at a time (chunks widen to ``max_workers`` so the requested
+        thread fan-out is achievable), and results are yielded in input
+        order, so any fold over this stream is bit-identical to the serial
+        path.  Shard workers of the process execution backend call this with
+        an ``index_offset`` equal to their shard start.
+        """
+        strengths = strengths or {}
+        max_workers = normalize_max_workers(max_workers, self._default_max_workers)
+        for indexed in iter_indexed_chunks(samples, chunk_size, max_workers, index_offset):
+            yield from map_ordered(
+                lambda indexed_sample: self._compare_one(
+                    indexed_sample[1], indexed_sample[0], rules, strengths
+                ),
+                indexed,
+                max_workers=max_workers,
+            )
+
+    def fold_compare_results(
+        self,
+        per_sample: "Iterable[Dict[str, Tuple[List[float], List[float], float]]]",
+        rules: Sequence[str] = ("bayes", "ml"),
+    ) -> Tuple[DecisionRuleResult, int]:
+        """Fold a stream of per-sample results into one DecisionRuleResult.
+
+        The single reduction shared by the serial, streaming and sharded
+        paths: per-rule statistics are extended in sample order and the
+        pixel-accuracy sum is divided once at the end, so every path that
+        produces the same per-sample stream folds to bitwise-equal numbers.
+        Returns the result together with the number of samples consumed.
+        """
+        result = DecisionRuleResult(
+            network_name=self.network.profile.name, category=self.category
+        )
+        for rule in rules:
+            result.per_rule[rule] = ClassPrecisionRecall(rule_name=rule)
+            result.pixel_accuracy[rule] = 0.0
+        accuracy_sums = {rule: 0.0 for rule in rules}
+        n_samples = 0
+        for sample_result in per_sample:
+            n_samples += 1
+            for rule in rules:
+                precision, recall, accuracy_value = sample_result[rule]
+                result.per_rule[rule].extend(precision, recall)
+                accuracy_sums[rule] += accuracy_value
+        if not n_samples:
+            raise ValueError("at least one evaluation sample is required")
+        for rule in rules:
+            result.pixel_accuracy[rule] = accuracy_sums[rule] / n_samples
+        return result, n_samples
+
     def compare(
         self,
         samples: Sequence[SegmentationSample],
@@ -158,31 +238,38 @@ class DecisionRuleComparison:
         """
         if not samples:
             raise ValueError("at least one evaluation sample is required")
-        if max_workers is None:
-            max_workers = self._default_max_workers
-        strengths = strengths or {}
-        result = DecisionRuleResult(
-            network_name=self.network.profile.name, category=self.category
-        )
-        for rule in rules:
-            result.per_rule[rule] = ClassPrecisionRecall(rule_name=rule)
-            result.pixel_accuracy[rule] = 0.0
-        per_sample = map_ordered(
-            lambda indexed: self._compare_one(
-                indexed[1], index_offset + indexed[0], rules, strengths
+        result, _ = self.fold_compare_results(
+            self.iter_compare_samples(
+                samples, rules=rules, index_offset=index_offset,
+                strengths=strengths, max_workers=max_workers,
             ),
-            list(enumerate(samples)),
-            max_workers=max_workers,
+            rules=rules,
         )
-        accuracy_sums = {rule: 0.0 for rule in rules}
-        for sample_result in per_sample:
-            for rule in rules:
-                precision, recall, accuracy_value = sample_result[rule]
-                result.per_rule[rule].extend(precision, recall)
-                accuracy_sums[rule] += accuracy_value
-        for rule in rules:
-            result.pixel_accuracy[rule] = accuracy_sums[rule] / len(samples)
         return result
+
+    def compare_streaming(
+        self,
+        samples: "Iterable[SegmentationSample]",
+        rules: Sequence[str] = ("bayes", "ml"),
+        index_offset: int = 0,
+        strengths: Optional[Dict[str, float]] = None,
+        max_workers: Optional[int] = None,
+    ) -> Tuple[DecisionRuleResult, int]:
+        """Never-materialise variant of :meth:`compare` for lazy sample streams.
+
+        Folds the per-sample results as they are produced, so neither the
+        sample list nor the per-sample result list is ever held in memory.
+        Bitwise identical to :meth:`compare` on the same samples; also
+        returns the number of samples consumed (the caller cannot ``len()``
+        a stream).
+        """
+        return self.fold_compare_results(
+            self.iter_compare_samples(
+                samples, rules=rules, index_offset=index_offset,
+                strengths=strengths, max_workers=max_workers,
+            ),
+            rules=rules,
+        )
 
     # ------------------------------------------------------------------ ---
     def run_on_dataset(

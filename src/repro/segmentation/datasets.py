@@ -86,41 +86,52 @@ class CityscapesLikeDataset:
         """Number of semantic classes."""
         return self.label_space.n_classes
 
-    def train_sample(self, index: int) -> SegmentationSample:
-        """Return (and cache) training sample *index*."""
-        return self._sample("train", index)
+    def train_sample(self, index: int, cache: bool = True) -> SegmentationSample:
+        """Return (and by default cache) training sample *index*."""
+        return self._sample("train", index, cache=cache)
 
-    def val_sample(self, index: int) -> SegmentationSample:
-        """Return (and cache) validation sample *index*."""
-        return self._sample("val", index)
+    def val_sample(self, index: int, cache: bool = True) -> SegmentationSample:
+        """Return (and by default cache) validation sample *index*."""
+        return self._sample("val", index, cache=cache)
 
-    def _sample(self, split: str, index: int) -> SegmentationSample:
+    def _sample(self, split: str, index: int, cache: bool = True) -> SegmentationSample:
+        """Build sample *index* of *split*.
+
+        Scene ``index`` is generated from a seed derived from the split's
+        master seed and ``index``, so a sample is bitwise identical whether
+        it is served from the cache, regenerated (``cache=False``, the
+        memory-bounded streaming walks) or built in another process (the
+        sharded execution backend).
+        """
         if split == "train":
-            size, cache, generator = self.n_train, self._train_cache, self._train_generator
+            size, cached, generator = self.n_train, self._train_cache, self._train_generator
         elif split == "val":
-            size, cache, generator = self.n_val, self._val_cache, self._val_generator
+            size, cached, generator = self.n_val, self._val_cache, self._val_generator
         else:
             raise ValueError(f"unknown split {split!r}")
         if not 0 <= index < size:
             raise IndexError(f"{split} index {index} out of range [0, {size})")
-        if index not in cache:
-            scene = generator.generate(index)
-            cache[index] = SegmentationSample(
-                image_id=f"{split}_{index:04d}",
-                labels=scene.labels,
-                scene=scene,
-            )
-        return cache[index]
+        if index in cached:
+            return cached[index]
+        scene = generator.generate(index)
+        sample = SegmentationSample(
+            image_id=f"{split}_{index:04d}",
+            labels=scene.labels,
+            scene=scene,
+        )
+        if cache:
+            cached[index] = sample
+        return sample
 
-    def iter_train(self) -> Iterator[SegmentationSample]:
-        """Iterate over all training samples."""
+    def iter_train(self, cache: bool = True) -> Iterator[SegmentationSample]:
+        """Iterate over all training samples (``cache=False`` streams them)."""
         for i in range(self.n_train):
-            yield self.train_sample(i)
+            yield self.train_sample(i, cache=cache)
 
-    def iter_val(self) -> Iterator[SegmentationSample]:
-        """Iterate over all validation samples."""
+    def iter_val(self, cache: bool = True) -> Iterator[SegmentationSample]:
+        """Iterate over all validation samples (``cache=False`` streams them)."""
         for i in range(self.n_val):
-            yield self.val_sample(i)
+            yield self.val_sample(i, cache=cache)
 
     def train_samples(self) -> List[SegmentationSample]:
         """All training samples as a list."""
@@ -172,13 +183,22 @@ class KittiLikeDataset:
         """Number of frames in every sequence."""
         return self.sequence_config.n_frames
 
-    def sequence(self, index: int) -> SceneSequence:
-        """Return (and cache) sequence *index*."""
+    def sequence(self, index: int, cache: bool = True) -> SceneSequence:
+        """Return (and by default cache) sequence *index*.
+
+        Sequences are generated from per-index derived seeds, so
+        ``cache=False`` (memory-bounded streaming walks) and out-of-process
+        regeneration (the sharded execution backend) are bitwise identical
+        to the cached path.
+        """
         if not 0 <= index < self.n_sequences:
             raise IndexError(f"sequence index {index} out of range [0, {self.n_sequences})")
-        if index not in self._cache:
-            self._cache[index] = self._generator.generate(index)
-        return self._cache[index]
+        if index in self._cache:
+            return self._cache[index]
+        sequence = self._generator.generate(index)
+        if cache:
+            self._cache[index] = sequence
+        return sequence
 
     def sequences(self) -> List[SceneSequence]:
         """All sequences as a list."""
@@ -188,9 +208,9 @@ class KittiLikeDataset:
         """Frame indices (within each sequence) that expose ground truth."""
         return list(range(self.labeled_stride - 1, self.n_frames_per_sequence, self.labeled_stride))
 
-    def samples(self, sequence_index: int) -> List[SegmentationSample]:
+    def samples(self, sequence_index: int, cache: bool = True) -> List[SegmentationSample]:
         """Samples of one sequence with the sparse ground-truth flags set."""
-        sequence = self.sequence(sequence_index)
+        sequence = self.sequence(sequence_index, cache=cache)
         labeled = set(self.labeled_frame_indices())
         out: List[SegmentationSample] = []
         for frame_index, scene in enumerate(sequence.frames):

@@ -20,12 +20,17 @@ Protocol, following Section III:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.api.registry import META_CLASSIFIERS, META_REGRESSORS
-from repro.core.batching import extraction_defaults, map_ordered
+from repro.core.batching import (
+    extraction_defaults,
+    map_ordered,
+    normalize_max_workers,
+    supports_cache_kwarg,
+)
 from repro.core.dataset import MetricsDataset
 from repro.core.meta_classification import MetaClassifier
 from repro.core.meta_regression import MetaRegressor
@@ -128,10 +133,24 @@ class TimeDynamicPipeline:
         )
 
     # ------------------------------------------------------------------ ---
-    def _process_sequence(self, dataset: KittiLikeDataset, sequence_index: int) -> SequenceMetrics:
+    @staticmethod
+    def _sequence_samples(dataset: KittiLikeDataset, sequence_index: int, cache: bool):
+        """Samples of one sequence, uncached where the substrate supports it.
+
+        Custom registered substrates may not take the ``cache`` keyword; they
+        fall back to their default (cached) accessor, which is still correct,
+        just without the streaming memory bound.
+        """
+        if not cache and supports_cache_kwarg(dataset.samples):
+            return dataset.samples(sequence_index, cache=False)
+        return dataset.samples(sequence_index)
+
+    def _process_sequence(
+        self, dataset: KittiLikeDataset, sequence_index: int, cache: bool = True
+    ) -> SequenceMetrics:
         """Inference, pseudo labelling, extraction and tracking for one sequence."""
         frames_per_sequence = dataset.n_frames_per_sequence
-        samples = dataset.samples(sequence_index)
+        samples = self._sequence_samples(dataset, sequence_index, cache)
         probability_fields = []
         real_gt: List[Optional[np.ndarray]] = []
         pseudo_gt: List[Optional[np.ndarray]] = []
@@ -156,7 +175,10 @@ class TimeDynamicPipeline:
         )
 
     def process_dataset(
-        self, dataset: KittiLikeDataset, max_workers: Optional[int] = None
+        self,
+        dataset: KittiLikeDataset,
+        max_workers: Optional[int] = None,
+        cache: bool = True,
     ) -> List[SequenceMetrics]:
         """Run inference, pseudo labelling, metric extraction and tracking.
 
@@ -166,14 +188,43 @@ class TimeDynamicPipeline:
         batched-execution layer; the returned list is ordered by sequence
         index and bit-identical to the serial run.  ``max_workers=None``
         falls back to the pipeline's extraction config (serial by default).
+        ``cache=False`` regenerates and releases each sequence's raw frames
+        instead of caching the whole dataset's pixel data (the streaming
+        walk); results are bitwise identical either way.
         """
-        if max_workers is None:
-            max_workers = self._default_max_workers
+        max_workers = normalize_max_workers(max_workers, self._default_max_workers)
         return map_ordered(
-            lambda sequence_index: self._process_sequence(dataset, sequence_index),
+            lambda sequence_index: self._process_sequence(dataset, sequence_index, cache=cache),
             range(dataset.n_sequences),
             max_workers=max_workers,
         )
+
+    def iter_process_dataset(
+        self,
+        dataset: KittiLikeDataset,
+        start: int = 0,
+        stop: Optional[int] = None,
+        cache: bool = True,
+    ) -> "Iterator[SequenceMetrics]":
+        """Streaming variant of :meth:`process_dataset`.
+
+        Yields the :class:`SequenceMetrics` of sequences ``start..stop`` one
+        at a time (bitwise identical to the corresponding slice of the serial
+        :meth:`process_dataset` result).  With ``cache=False`` the raw frames
+        of a sequence are regenerated on the fly and released as soon as the
+        sequence is processed, so a streaming consumer holds the compact
+        per-sequence metrics but never the pixel data of the whole dataset.
+        The ``start``/``stop`` range is also the process-backend shard unit.
+        """
+        if stop is None:
+            stop = dataset.n_sequences
+        if not 0 <= start <= stop <= dataset.n_sequences:
+            raise ValueError(
+                f"invalid sequence range [{start}, {stop}) for "
+                f"{dataset.n_sequences} sequences"
+            )
+        for sequence_index in range(start, stop):
+            yield self._process_sequence(dataset, sequence_index, cache=cache)
 
     # ------------------------------------------------------------------ ---
     def _make_classifier(self, method: str, seed: int) -> MetaClassifier:

@@ -6,8 +6,10 @@ import pytest
 
 from repro.api.config import (
     EXPERIMENT_KINDS,
+    ConfigError,
     DataConfig,
     EvalConfig,
+    ExecutionConfig,
     ExperimentConfig,
     ExtractionConfig,
     MetaModelConfig,
@@ -50,8 +52,12 @@ class TestValidation:
             ("data", {"labeled_stride": 0}, "labeled_stride"),
             ("network", {"profile": ""}, "profile name"),
             ("extraction", {"chunk_size": 0}, "chunk_size"),
-            ("extraction", {"max_workers": 0}, "max_workers"),
+            ("extraction", {"chunk_size": -3}, "chunk_size"),
+            ("extraction", {"max_workers": -1}, "max_workers"),
             ("extraction", {"connectivity": 6}, "connectivity"),
+            ("execution", {"backend": ""}, "backend"),
+            ("execution", {"workers": -2}, "workers"),
+            ("execution", {"streaming": "yes"}, "streaming"),
             ("meta_models", {"classifiers": []}, "at least one classifier"),
             ("meta_models", {"classification_penalty": -1.0}, "penalties"),
             ("evaluation", {"n_runs": 0}, "n_runs"),
@@ -67,12 +73,60 @@ class TestValidation:
             "data": DataConfig,
             "network": NetworkConfig,
             "extraction": ExtractionConfig,
+            "execution": ExecutionConfig,
             "meta_models": MetaModelConfig,
             "evaluation": EvalConfig,
         }
         config = ExperimentConfig(**{section: section_types[section](**kwargs)})
         with pytest.raises(ValueError, match=message):
             config.validate()
+
+    def test_serial_worker_counts_are_valid(self):
+        """The unified contract: None/0/1 all mean serial and all validate."""
+        for workers in (None, 0, 1):
+            ExperimentConfig(
+                extraction=ExtractionConfig(max_workers=workers),
+                execution=ExecutionConfig(workers=workers),
+            ).validate()
+
+
+class TestParseTimeValidation:
+    """Invalid values fail at from_dict/from_json time with a ConfigError."""
+
+    @pytest.mark.parametrize(
+        "section, payload, fragment",
+        [
+            ("extraction", {"chunk_size": 0}, "extraction: chunk_size"),
+            ("extraction", {"chunk_size": -4}, "extraction: chunk_size"),
+            ("extraction", {"max_workers": -1}, "extraction: max_workers"),
+            ("extraction", {"chunk_size": True}, "extraction: chunk_size"),
+            ("execution", {"workers": -1}, "execution: workers"),
+            ("execution", {"workers": True}, "execution: workers"),
+            ("execution", {"backend": ""}, "execution: backend"),
+            ("execution", {"streaming": 3}, "execution: streaming"),
+        ],
+    )
+    def test_bad_execution_numbers_fail_at_parse_time(self, section, payload, fragment):
+        with pytest.raises(ConfigError, match=fragment):
+            ExperimentConfig.from_dict({section: payload})
+
+    def test_config_error_is_a_value_error(self):
+        # Callers that catch ValueError (the CLI, older tests) keep working.
+        assert issubclass(ConfigError, ValueError)
+
+    def test_from_json_validates_too(self):
+        with pytest.raises(ConfigError, match="execution: workers"):
+            ExperimentConfig.from_json(
+                json.dumps({"execution": {"workers": -3}})
+            )
+
+    def test_valid_execution_section_round_trips(self):
+        config = ExperimentConfig.from_dict(
+            {"execution": {"backend": "process", "workers": 4, "streaming": True}}
+        )
+        assert config.execution.backend == "process"
+        rebuilt = ExperimentConfig.from_json(config.to_json())
+        assert rebuilt == config
 
 
 class TestSerialisation:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.batching import chunked, map_ordered
+from repro.core.batching import chunked, map_ordered, normalize_max_workers
 
 
 class TestChunked:
@@ -43,6 +43,36 @@ class TestMapOrdered:
     def test_negative_workers_raises(self):
         with pytest.raises(ValueError):
             map_ordered(lambda x: x, [1, 2], max_workers=-1)
+
+    def test_zero_workers_runs_serially(self):
+        # The unified contract: None, 0 and 1 all mean serial execution.
+        assert map_ordered(lambda x: x * 2, [1, 2, 3], max_workers=0) == [2, 4, 6]
+
+
+class TestNormalizeMaxWorkers:
+    """The library-wide worker contract lives in exactly one place."""
+
+    def test_none_without_default_stays_none(self):
+        assert normalize_max_workers(None) is None
+
+    def test_none_falls_back_to_default(self):
+        assert normalize_max_workers(None, 4) == 4
+
+    def test_explicit_value_wins_over_default(self):
+        assert normalize_max_workers(2, 8) == 2
+
+    @pytest.mark.parametrize("serial", [0, 1])
+    def test_serial_values_pass_through(self, serial):
+        assert normalize_max_workers(serial) == serial
+
+    @pytest.mark.parametrize("bad", [-1, -7])
+    def test_negative_rejected_with_contract_message(self, bad):
+        with pytest.raises(ValueError, match="None, 0 and 1 run serially"):
+            normalize_max_workers(bad)
+
+    def test_negative_default_also_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_max_workers(None, -2)
 
 
 def _assert_datasets_identical(left, right):
