@@ -32,4 +32,19 @@ python -m repro list
 python -m repro run examples/configs/metaseg_small.json
 python -m repro run examples/configs/metaseg_sharded.json
 
+echo "=== sweep-cache benchmark (smoke: warm >= 5x cold + bitwise parity) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_sweep_cache.py --smoke
+
+echo "=== sweep CLI (smoke: second identical sweep served from cache) ==="
+SWEEP_CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SWEEP_CACHE_DIR}"' EXIT
+REPRO_CACHE_DIR="${SWEEP_CACHE_DIR}" \
+    python -m repro sweep examples/configs/sweep_metaseg.json
+REPRO_CACHE_DIR="${SWEEP_CACHE_DIR}" \
+    python -m repro sweep examples/configs/sweep_metaseg.json \
+    | tee "${SWEEP_CACHE_DIR}/second_run.txt"
+grep -q "cache hits: 2/2" "${SWEEP_CACHE_DIR}/second_run.txt" \
+    || { echo "FAIL: second sweep run was not served from cache" >&2; exit 1; }
+
 echo "ci.sh: all stages passed"

@@ -110,6 +110,11 @@ from repro.api import (
     all_registries,
 )
 
+# Result store + sweep driver: build on the api layer (imported above), so
+# these imports stay cycle-free here.
+from repro.store import ResultStore
+from repro.sweep import SweepConfig, SweepResult, run_sweep
+
 __all__ = [
     "__version__",
     # substrate
@@ -170,4 +175,9 @@ __all__ = [
     "Runner",
     "run_experiment",
     "all_registries",
+    # result store + sweeps
+    "ResultStore",
+    "SweepConfig",
+    "SweepResult",
+    "run_sweep",
 ]

@@ -1,21 +1,30 @@
 """Command-line entry point: ``python -m repro``.
 
-Three subcommands expose the unified experiment API headlessly:
+Five subcommands expose the unified experiment API headlessly:
 
 * ``python -m repro run config.json``       — execute an experiment config
   and print its Table-style summary (``--output report.json`` writes the
   full report, ``--timings`` includes wall-clock stage timings;
   ``--backend``/``--workers``/``--streaming`` override the config's
   execution section, e.g. ``--backend process --workers 4`` for sharded
-  multi-process execution — bitwise identical to serial);
+  multi-process execution — bitwise identical to serial; ``--cache`` /
+  ``--cache-dir`` serve repeated runs from the content-addressed result
+  store);
+* ``python -m repro sweep sweep.json``      — expand a declarative grid
+  over dotted config fields, run every point with result caching on by
+  default (``--no-cache`` disables it), and print a summary table plus a
+  structural diff of each point's deterministic report vs. the first;
+* ``python -m repro cache info|clear``      — inspect or evict the result
+  store (``--cache-dir`` / ``$REPRO_CACHE_DIR`` pick the root);
 * ``python -m repro list``                  — show every registry and its
   entries (``--json`` for machine-readable output);
 * ``python -m repro describe KIND [NAME]``  — document one registry or one
   entry (e.g. ``python -m repro describe networks mobilenetv2``).
 
 Reports are deterministic: the same config (and therefore the same single
-seed) produces bitwise-identical ``--output`` files, which makes sharded and
-scripted reproduction runs diffable.
+seed) produces bitwise-identical ``--output`` files — whether computed or
+served from cache — which makes sharded, swept and scripted reproduction
+runs diffable.
 """
 
 from __future__ import annotations
@@ -28,6 +37,38 @@ from typing import List, Optional
 
 from repro.api.config import ConfigError, ExperimentConfig
 from repro.api.registry import RegistryError, all_registries
+
+
+def _resolve_store(args: argparse.Namespace):
+    """The ResultStore selected by the caching flags, or ``None``.
+
+    ``--cache-dir PATH`` implies caching at PATH; bare ``--cache`` uses the
+    default root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir and not getattr(args, "cache", False):
+        return None
+    from repro.store import ResultStore
+
+    return ResultStore(cache_dir or None)
+
+
+def _write_output_json(path_text: str, text: str, what: str) -> Optional[int]:
+    """Write a JSON document, creating parent directories; 2 on failure.
+
+    Shared by ``run`` and ``sweep`` so both honour the same contract: a
+    missing parent directory is created, any I/O failure is a one-line
+    diagnostic + exit code 2, never a traceback.
+    """
+    output = Path(path_text)
+    try:
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text)
+    except OSError as exc:
+        print(f"error: cannot write {what} {output}: {exc}", file=sys.stderr)
+        return 2
+    print(f"{what} written to {output}")
+    return None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -57,20 +98,78 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"error: invalid config {path}: {exc}", file=sys.stderr)
         return 2
-    report = Runner().run(config)
+    report = Runner(store=_resolve_store(args)).run(config)
     print("\n".join(report.summary_rows()))
+    if report.cache:
+        hit = "hit" if report.cache.get("hit") else "miss"
+        print(f"cache: {hit} ({str(report.cache.get('key'))[:12]})")
     if args.output:
-        output = Path(args.output)
-        try:
-            output.parent.mkdir(parents=True, exist_ok=True)
-            output.write_text(report.to_json(include_timings=args.timings) + "\n")
-        except OSError as exc:
-            print(f"error: cannot write report {output}: {exc}", file=sys.stderr)
-            return 2
-        print(f"report written to {output}")
+        failed = _write_output_json(
+            args.output, report.to_json(include_timings=args.timings) + "\n", "report"
+        )
+        if failed is not None:
+            return failed
     elif args.timings:
         for stage, seconds in report.timings.items():
             print(f"timing {stage}: {seconds:.3f}s")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepConfig, run_sweep
+
+    path = Path(args.config)
+    try:
+        sweep = SweepConfig.from_file(path)
+    except OSError as exc:
+        print(f"error: cannot read sweep config {path}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as exc:
+        print(f"error: invalid sweep config {path}: {exc}", file=sys.stderr)
+        return 2
+    store = None
+    if not args.no_cache:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.cache_dir or None)
+    result = run_sweep(
+        sweep,
+        store=store,
+        no_cache=args.no_cache,
+        backend=args.backend,
+        workers=args.workers,
+        streaming=args.streaming,
+    )
+    print("\n".join(result.summary_rows()))
+    if args.output:
+        failed = _write_output_json(
+            args.output,
+            result.to_json(include_run_info=args.timings) + "\n",
+            "sweep result",
+        )
+        if failed is not None:
+            return failed
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.cache_dir or None)
+    if args.action == "info":
+        stats = store.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries: {stats['n_entries']}  payload bytes: {stats['payload_bytes']}")
+        for meta in store.entries():
+            provenance = meta.get("provenance", {})
+            print(
+                f"  {str(meta.get('key'))[:12]}  {meta.get('codec'):<6}  "
+                f"{int(meta.get('size_bytes', 0)):>9}B  "
+                f"{provenance.get('type', '?')}/{provenance.get('kind', '?')}"
+            )
+        return 0
+    removed = store.clear()
+    print(f"evicted {removed} cache entr{'y' if removed == 1 else 'ies'} from {store.root}")
     return 0
 
 
@@ -145,7 +244,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="fold results chunk by chunk (peak memory O(chunk), same "
              "numbers); --no-streaming overrides a config that enables it",
     )
+    run.add_argument(
+        "--cache", action="store_true",
+        help="serve/store this run through the content-addressed result "
+             "store (bitwise identical to a fresh run)",
+    )
+    run.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result-store root (implies --cache; default "
+             "$REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a declarative config grid and run every point (cached)",
+    )
+    sweep.add_argument("config", help="path to a SweepConfig JSON file")
+    sweep.add_argument(
+        "--output", help="write the full sweep result JSON to this path"
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point instead of using the result store",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result-store root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    sweep.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="override the execution backend of every point "
+             "(serial/thread/process; all bitwise identical)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="override the worker / shard count of every point",
+    )
+    sweep.add_argument(
+        "--streaming", action=argparse.BooleanOptionalAction, default=None,
+        help="override the streaming flag of every point",
+    )
+    sweep.add_argument(
+        "--timings", action="store_true",
+        help="include run info (wall-clock, cache hits) in --output",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or evict the content-addressed result store"
+    )
+    cache.add_argument("action", choices=("info", "clear"), help="what to do")
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result-store root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     lst = sub.add_parser("list", help="list every registry and its entries")
     lst.add_argument("--json", action="store_true", help="machine-readable output")

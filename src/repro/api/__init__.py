@@ -30,6 +30,7 @@ from repro.api.config import (
     ExtractionConfig,
     MetaModelConfig,
     NetworkConfig,
+    apply_dotted_override,
 )
 from repro.api.registry import (
     ALL_REGISTRIES,
@@ -74,6 +75,7 @@ __all__ = [
     "DECISION_RULES",
     "EXECUTION_BACKENDS",
     "all_registries",
+    "apply_dotted_override",
     *_LAZY,
     *_LAZY_EXECUTION,
 ]

@@ -355,6 +355,32 @@ class ExperimentConfig:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
 
+def apply_dotted_override(payload: Dict[str, object], path: str, value: object) -> None:
+    """Set one config field of a *complete* config dict by dotted path.
+
+    ``apply_dotted_override(d, "meta_models.classifiers", [...])`` replaces
+    ``d["meta_models"]["classifiers"]`` in place.  The leaf (and every
+    intermediate section) must already exist — pass a dict produced by
+    :meth:`ExperimentConfig.to_dict`, which is always complete — so a typo
+    in a sweep grid fails fast with a :class:`ConfigError` naming the path
+    instead of silently adding an ignored key.
+    """
+    if not isinstance(path, str) or not path:
+        raise ConfigError(f"override path must be a non-empty string, got {path!r}")
+    parts = path.split(".")
+    node: object = payload
+    for depth, part in enumerate(parts):
+        if not isinstance(node, dict) or part not in node:
+            prefix = ".".join(parts[: depth + 1])
+            raise ConfigError(
+                f"unknown config field {path!r} (no such field {prefix!r})"
+            )
+        if depth == len(parts) - 1:
+            node[part] = value
+        else:
+            node = node[part]
+
+
 def _section_from_dict(section_cls, payload: object, section: str):
     """Instantiate a nested config section from a dict, rejecting unknown keys."""
     if isinstance(payload, section_cls):

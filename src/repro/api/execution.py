@@ -43,6 +43,7 @@ from repro.api.config import ExecutionConfig, ExperimentConfig
 from repro.api.registry import EXECUTION_BACKENDS
 from repro.core.batching import normalize_max_workers, supports_cache_kwarg
 from repro.core.dataset import MetricsDataset
+from repro.store import shard_key
 
 
 def shard_ranges(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
@@ -122,6 +123,17 @@ class SerialBackend:
         self.execution = execution
         self.workers = normalize_max_workers(execution.workers)
         self.streaming = bool(execution.streaming)
+        self.store = None
+
+    def attach_store(self, store) -> None:
+        """Install a :class:`repro.store.ResultStore` for result reuse.
+
+        Called by the Runner when it was built with a store.  The serial and
+        thread backends keep no per-item cache of their own (whole-report
+        memoisation already happens in the Runner); the ``process`` backend
+        uses the store for per-shard caching.
+        """
+        self.store = store
 
     # ------------------------------------------------------------------ ---
     def _pipeline_workers(self) -> Optional[int]:
@@ -336,6 +348,12 @@ class ProcessBackend(SerialBackend):
 
     name = "process"
 
+    def __init__(self, execution: ExecutionConfig) -> None:
+        super().__init__(execution)
+        #: Per-shard cache counters of this run (kept even without a store,
+        #: so the Runner's bookkeeping never needs a hasattr dance).
+        self.shard_cache = {"hits": 0, "misses": 0}
+
     def _specs(self, resolved, n_items: int) -> List[Dict]:
         config_dict = resolved.config.to_dict()
         return [
@@ -344,9 +362,45 @@ class ProcessBackend(SerialBackend):
         ]
 
     def _map_shards(self, worker, specs: List[Dict]) -> List:
-        """Run the shard specs on a process pool, results in shard order."""
-        with ProcessPoolExecutor(max_workers=len(specs)) as pool:
-            return list(pool.map(worker, specs))
+        """Run the shard specs on a process pool, results in shard order.
+
+        With a store attached, shard results are content-addressed by
+        (stage-1 config hash, index range): cached shards are served without
+        touching the pool, only the missing ones are computed (and then
+        published), and — because the cache key excludes every field that
+        cannot influence the shard payload — a sweep that only changes
+        protocol-side fields reuses every shard.  If everything is cached,
+        no process pool is spawned at all.
+        """
+        if self.store is None:
+            with ProcessPoolExecutor(max_workers=len(specs)) as pool:
+                return list(pool.map(worker, specs))
+        keys = [
+            shard_key(spec["config"], spec["start"], spec["stop"]) for spec in specs
+        ]
+        results: List = [self.store.get(key, codec="pickle") for key in keys]
+        missing = [index for index, result in enumerate(results) if result is None]
+        self.shard_cache["hits"] += len(specs) - len(missing)
+        self.shard_cache["misses"] += len(missing)
+        if missing:
+            with ProcessPoolExecutor(max_workers=len(missing)) as pool:
+                computed = list(pool.map(worker, (specs[i] for i in missing)))
+            for index, result in zip(missing, computed):
+                results[index] = result
+                spec = specs[index]
+                self.store.put(
+                    keys[index],
+                    result,
+                    codec="pickle",
+                    provenance={
+                        "type": "shard",
+                        "kind": spec["config"]["kind"],
+                        "start": spec["start"],
+                        "stop": spec["stop"],
+                        "config_hash": keys[index],
+                    },
+                )
+        return results
 
     def _use_fallback(self, n_items: int) -> bool:
         """Serial fallback when fan-out cannot help (one worker / one item)."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Union
 
 from repro.api.config import ExperimentConfig
+from repro.store import report_key
 from repro.api.registry import (
     DATASETS,
     DECISION_RULES,
@@ -96,6 +97,12 @@ class ExperimentReport:
     tables: Dict[str, Table] = field(default_factory=dict)
     provenance: Dict[str, object] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
+    cache: Dict[str, object] = field(default_factory=dict)
+    """Result-store bookkeeping of this run (``hit``/``key``/shard counters).
+
+    Like ``timings`` it differs between a cached and a fresh run, so it is
+    excluded from :meth:`to_dict`/:meth:`to_json` — cached reports stay
+    bitwise identical to freshly computed ones."""
 
     # ------------------------------------------------------------------ ---
     def table(self, name: str) -> Table:
@@ -195,7 +202,18 @@ class Runner:
     for many configs.  Dispatch is by ``config.kind``::
 
         report = Runner().run(ExperimentConfig(kind="metaseg"))
+
+    Passing a :class:`repro.store.ResultStore` enables result caching at two
+    granularities: whole reports are memoised by the full config hash, and
+    the ``process`` backend additionally caches per-shard stage-1 payloads
+    keyed by (stage-1 config hash, index range) — so a sweep that only
+    changes protocol-side fields (e.g. the meta-model) reuses every
+    extraction shard.  Cached reports are bitwise identical to fresh ones
+    (timings and cache bookkeeping live outside the serialised payload).
     """
+
+    def __init__(self, store: Optional[object] = None) -> None:
+        self.store = store
 
     def run(self, config: Union[ExperimentConfig, Dict[str, object]]) -> ExperimentReport:
         """Execute one experiment and return its unified report.
@@ -209,10 +227,24 @@ class Runner:
         if isinstance(config, dict):
             config = ExperimentConfig.from_dict(config)
         config.validate()
+        key = None
+        if self.store is not None:
+            lookup = time.perf_counter()
+            key = report_key(config.to_dict())
+            payload = self.store.get(key, codec="json")
+            if payload is not None:
+                report = ExperimentReport.from_dict(payload)
+                report.timings = {"cache_lookup": time.perf_counter() - lookup}
+                report.cache = {"hit": True, "key": key}
+                return report
         timings: Dict[str, float] = {}
         start = time.perf_counter()
         resolved = self.resolve(config)
         backend = EXECUTION_BACKENDS.get(config.execution.backend)(config.execution)
+        if self.store is not None:
+            attach = getattr(backend, "attach_store", None)
+            if attach is not None:
+                attach(self.store)
         timings["resolve"] = time.perf_counter() - start
         runner = {
             "metaseg": self._run_metaseg,
@@ -222,6 +254,23 @@ class Runner:
         report = runner(resolved, backend, timings)
         timings["total"] = time.perf_counter() - start
         report.timings = timings
+        if self.store is not None:
+            self.store.put(
+                key,
+                report.to_dict(),
+                codec="json",
+                provenance={
+                    "type": "report",
+                    "kind": config.kind,
+                    "name": config.name,
+                    "seed": config.seed,
+                    "config_hash": key,
+                },
+            )
+            report.cache = {"hit": False, "key": key}
+            shard_cache = getattr(backend, "shard_cache", None)
+            if shard_cache:
+                report.cache["shards"] = dict(shard_cache)
         return report
 
     # ------------------------------------------------------------------ ---

@@ -1,0 +1,289 @@
+"""Filesystem-backed content-addressed result store.
+
+A :class:`ResultStore` maps a content key (:mod:`repro.store.keys`) to one
+serialised payload on disk.  The layout under the store root is::
+
+    <root>/objects/<kk>/<key>.payload     # the payload bytes (hashed content)
+    <root>/objects/<kk>/<key>.meta.json   # index sidecar (provenance)
+
+where ``<kk>`` is the first two hex digits of the key (keeps directories
+small).  The sidecar carries everything that must stay *outside* the hashed
+payload — creation timestamp, payload digest/size/codec, the code-version
+salt and free-form provenance (config hash, index range, experiment kind) —
+so equal configs always produce bitwise-equal payload files.
+
+Durability and correctness guarantees:
+
+* **Atomic writes** — payload and sidecar are written to a temp file in the
+  target directory and ``os.replace``-d into place, so readers never observe
+  a half-written entry; the sidecar is written last and acts as the commit
+  marker.
+* **Self-healing reads** — :meth:`ResultStore.get` verifies the sidecar's
+  SHA-256 digest against the payload bytes and treats any mismatch,
+  truncation, missing sidecar or undecodable payload as a *miss* (evicting
+  the broken entry) so corruption degrades to recomputation, never to a
+  crash or a wrong result.
+* **Concurrent use** — there is no global index file to contend on; two
+  processes racing to publish the same key both write equal payloads and the
+  last rename wins.
+
+Payload codecs: ``"json"`` for plain-dict payloads (experiment reports) and
+``"pickle"`` for the numpy-laden stage-1 shard payloads (which already cross
+process boundaries, so picklability is guaranteed).  The store only ever
+unpickles files it wrote itself under the local cache root — treat the cache
+directory with the same trust as the working tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.store.keys import version_salt
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """The store root used when none is given.
+
+    ``$REPRO_CACHE_DIR`` when set (and non-empty), else
+    ``~/.cache/repro`` (``$XDG_CACHE_HOME/repro`` when that is set).
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write *data* to *path* via temp-file + rename (atomic on POSIX)."""
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _sha256(data: bytes) -> str:
+    import hashlib
+
+    return hashlib.sha256(data).hexdigest()
+
+
+class StoreError(ValueError):
+    """Misuse of the result store (bad key / unknown codec)."""
+
+
+class ResultStore:
+    """Content-addressed result cache rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on first :meth:`put`.  Defaults to
+        :func:`default_cache_root` (``$REPRO_CACHE_DIR`` override).
+    """
+
+    #: Supported payload codecs (name -> (encode, decode)).
+    #:
+    #: The json codec deliberately differs from the strict key canonicaliser
+    #: (:func:`repro.store.keys.canonical_json`): payloads are never hashed
+    #: for addressing, so they keep the producer's dict order (a rehydrated
+    #: report prints exactly like a fresh one) and allow NaN/Infinity (a
+    #: report with a non-finite metric must cache, not fail after computing).
+    #: The bytes are still deterministic — dict construction order is.
+    CODECS = {
+        "json": (
+            lambda payload: json.dumps(
+                payload, separators=(",", ":"), ensure_ascii=True
+            ).encode("ascii"),
+            lambda data: json.loads(data.decode("ascii")),
+        ),
+        "pickle": (
+            lambda payload: pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+            lambda data: pickle.loads(data),
+        ),
+    }
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def __repr__(self) -> str:
+        return f"ResultStore(root={str(self.root)!r})"
+
+    # ------------------------------------------------------------------ paths
+    @staticmethod
+    def _check_key(key: str) -> str:
+        if not isinstance(key, str) or len(key) < 8 or any(
+            c not in "0123456789abcdef" for c in key
+        ):
+            raise StoreError(f"store keys are lowercase hex digests, got {key!r}")
+        return key
+
+    def _payload_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.payload"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.meta.json"
+
+    # ------------------------------------------------------------------- I/O
+    def put(
+        self,
+        key: str,
+        payload: object,
+        codec: str = "json",
+        provenance: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Publish *payload* under *key* (atomically; overwrites any entry).
+
+        ``provenance`` is free-form index metadata (config hash, experiment
+        kind, index range, ...) recorded in the sidecar only — it never
+        influences the payload bytes or the key.
+        """
+        self._check_key(key)
+        if codec not in self.CODECS:
+            raise StoreError(
+                f"unknown payload codec {codec!r}; available: {', '.join(self.CODECS)}"
+            )
+        encode, _ = self.CODECS[codec]
+        data = encode(payload)
+        meta = {
+            "key": key,
+            "codec": codec,
+            "size_bytes": len(data),
+            "sha256": _sha256(data),
+            "version_salt": version_salt(),
+            "created_unix": time.time(),
+            "provenance": dict(provenance or {}),
+        }
+        payload_path = self._payload_path(key)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(payload_path, data)
+        # Sidecar last: its presence marks the entry complete.
+        _atomic_write_bytes(
+            self._meta_path(key),
+            (json.dumps(meta, sort_keys=True, indent=2) + "\n").encode("ascii"),
+        )
+
+    def get(self, key: str, codec: str = "json") -> Optional[object]:
+        """Return the payload stored under *key*, or ``None`` on a miss.
+
+        Incomplete, corrupted or codec-mismatched entries are evicted and
+        reported as a miss, so callers can always fall back to recomputing.
+        """
+        self._check_key(key)
+        payload_path = self._payload_path(key)
+        meta_path = self._meta_path(key)
+        try:
+            meta = json.loads(meta_path.read_text())
+            data = payload_path.read_bytes()
+        except (OSError, ValueError):
+            self.evict(key)
+            return None
+        if (
+            not isinstance(meta, dict)
+            or meta.get("codec") != codec
+            or meta.get("sha256") != _sha256(data)
+        ):
+            self.evict(key)
+            return None
+        _, decode = self.CODECS[codec]
+        try:
+            return decode(data)
+        except Exception:
+            self.evict(key)
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        self._check_key(key)
+        return self._meta_path(key).exists() and self._payload_path(key).exists()
+
+    # ------------------------------------------------------------- management
+    def evict(self, key: str) -> bool:
+        """Remove one entry; returns whether anything was deleted."""
+        self._check_key(key)
+        removed = False
+        for path in (self._meta_path(key), self._payload_path(key)):
+            try:
+                path.unlink()
+                removed = True
+            except OSError:
+                pass
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of complete entries removed.
+
+        Wipes the whole ``objects/`` tree, so orphans a crash can leave
+        behind (payloads without a sidecar, abandoned temp files) are
+        reclaimed too — they are invisible to :meth:`entries` / the
+        per-entry :meth:`evict`.
+        """
+        removed = len(self.entries())
+        shutil.rmtree(self.root / "objects", ignore_errors=True)
+        return removed
+
+    def entries(self) -> List[Dict[str, object]]:
+        """The index: every entry's sidecar dict, sorted by key.
+
+        Unreadable sidecars are skipped (their entries will be evicted on
+        the next :meth:`get`).
+        """
+        out: List[Dict[str, object]] = []
+        for meta_path in self._iter_meta_paths():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(meta, dict):
+                out.append(meta)
+        return sorted(out, key=lambda meta: str(meta.get("key", "")))
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate view: entry count and payload bytes under the root."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "n_entries": len(entries),
+            "payload_bytes": sum(int(meta.get("size_bytes", 0)) for meta in entries),
+        }
+
+    def prune(self, max_entries: int) -> int:
+        """Keep only the *max_entries* most recently created entries.
+
+        Returns the number of entries evicted (oldest first).
+        """
+        if max_entries < 0:
+            raise StoreError(f"max_entries must be >= 0, got {max_entries}")
+        entries = sorted(
+            self.entries(), key=lambda meta: float(meta.get("created_unix", 0.0))
+        )
+        removed = 0
+        for meta in entries[: max(0, len(entries) - max_entries)]:
+            if self.evict(str(meta["key"])):
+                removed += 1
+        return removed
+
+    def _iter_meta_paths(self):
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for sub in sorted(objects.iterdir()):
+            if sub.is_dir():
+                yield from sorted(sub.glob("*.meta.json"))

@@ -1,0 +1,181 @@
+"""Declarative sweep configurations.
+
+A :class:`SweepConfig` describes a family of experiments as one *base*
+:class:`~repro.api.config.ExperimentConfig` plus a *grid*: an ordered mapping
+of dotted config fields to candidate values, e.g.::
+
+    {
+      "name": "meta-model-sweep",
+      "base_path": "metaseg_small.json",
+      "grid": {
+        "meta_models.classifiers": [["logistic"], ["gradient_boosting"]],
+        "seed": [0, 1]
+      }
+    }
+
+The grid expands to its cartesian product in a deterministic order: fields
+vary in declaration order with the *last* field varying fastest (row-major),
+so point indices are stable across runs and machines.  Every point is a full
+``ExperimentConfig`` — built by applying the overrides to the normalised
+base dict and re-validating — and therefore inherits the library's
+reproducibility contract (equal point config → bitwise-equal report), which
+is what makes sweep results cacheable and their report JSONs diffable.
+
+``base`` can be given inline or via ``base_path`` (resolved relative to the
+sweep file for :meth:`SweepConfig.from_file`).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.api.config import ConfigError, ExperimentConfig, apply_dotted_override
+
+
+@dataclass
+class SweepPoint:
+    """One expanded grid point: its overrides and the resulting config."""
+
+    index: int
+    overrides: Dict[str, object]
+    config: ExperimentConfig
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable identifier (index + compact overrides)."""
+        if not self.overrides:
+            return f"point-{self.index:03d} (base)"
+        pairs = ", ".join(
+            f"{path}={json.dumps(value, sort_keys=True)}"
+            for path, value in self.overrides.items()
+        )
+        return f"point-{self.index:03d} ({pairs})"
+
+
+@dataclass
+class SweepConfig:
+    """A base experiment config plus a value grid over dotted fields.
+
+    ``base`` is normalised through ``ExperimentConfig`` at validation time,
+    so partial JSON configs work and grid paths are checked against the
+    complete field set.  ``base_path`` is provenance only (where the base
+    was loaded from); :meth:`from_dict` / :meth:`from_file` resolve it.
+    """
+
+    base: Dict[str, object]
+    grid: Dict[str, List[object]] = field(default_factory=dict)
+    name: str = ""
+    base_path: str = ""
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> "SweepConfig":
+        """Check base, grid shape and every grid path; returns self."""
+        base_config = ExperimentConfig.from_dict(self.base)
+        if not isinstance(self.grid, dict):
+            raise ConfigError(f"sweep grid must be a dict, got {type(self.grid).__name__}")
+        normalised = base_config.to_dict()
+        for path, values in self.grid.items():
+            if not isinstance(values, list) or not values:
+                raise ConfigError(
+                    f"sweep grid field {path!r} must map to a non-empty list of values"
+                )
+            # Raises ConfigError naming the path on typos.
+            apply_dotted_override(copy.deepcopy(normalised), path, values[0])
+        return self
+
+    # ------------------------------------------------------------- expansion
+    @property
+    def n_points(self) -> int:
+        """Number of grid points (product of the per-field value counts)."""
+        count = 1
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
+    def points(self) -> Iterator[SweepPoint]:
+        """Expand the grid into validated experiment configs, in order.
+
+        A value that fails config validation raises :class:`ConfigError`
+        naming the offending point, so a bad grid cell is reported before
+        anything expensive runs (the driver expands eagerly).
+        """
+        base = ExperimentConfig.from_dict(self.base).to_dict()
+        paths = list(self.grid)
+        for index, combo in enumerate(
+            itertools.product(*(self.grid[path] for path in paths))
+        ):
+            overrides = dict(zip(paths, combo))
+            point_dict = copy.deepcopy(base)
+            for path, value in overrides.items():
+                apply_dotted_override(point_dict, path, value)
+            try:
+                config = ExperimentConfig.from_dict(point_dict)
+            except ConfigError as exc:
+                raise ConfigError(
+                    f"sweep point {index} ({overrides!r}) is invalid: {exc}"
+                ) from None
+            yield SweepPoint(index=index, overrides=overrides, config=config)
+
+    # ------------------------------------------------------- (de)serialisation
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Dict[str, object],
+        base_dir: Optional[Union[str, Path]] = None,
+        validate: bool = True,
+    ) -> "SweepConfig":
+        """Build a sweep from a plain dict, rejecting unknown keys.
+
+        Exactly one of ``base`` (inline config dict) and ``base_path`` (a
+        JSON config file, resolved relative to *base_dir*) must be given.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"sweep payload must be a dict, got {type(payload).__name__}"
+            )
+        payload = dict(payload)
+        name = payload.pop("name", "")
+        base = payload.pop("base", None)
+        base_path = payload.pop("base_path", "")
+        grid = payload.pop("grid", {})
+        if payload:
+            raise ConfigError(
+                f"unknown sweep config keys: {', '.join(sorted(map(str, payload)))}"
+            )
+        if (base is None) == (not base_path):
+            raise ConfigError(
+                "sweep config needs exactly one of 'base' (inline experiment "
+                "config) or 'base_path' (path to an experiment config JSON)"
+            )
+        if base_path:
+            path = Path(base_dir or ".") / base_path
+            try:
+                base = json.loads(path.read_text())
+            except OSError as exc:
+                raise ConfigError(f"cannot read sweep base config {path}: {exc}") from None
+            except ValueError as exc:
+                raise ConfigError(f"invalid JSON in sweep base config {path}: {exc}") from None
+        sweep = cls(base=base, grid=grid, name=str(name), base_path=str(base_path))
+        return sweep.validate() if validate else sweep
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], validate: bool = True) -> "SweepConfig":
+        """Load a sweep JSON file; ``base_path`` resolves next to the file."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ConfigError(f"invalid JSON in sweep config {path}: {exc}") from None
+        return cls.from_dict(payload, base_dir=path.parent, validate=validate)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view (always inlines the base config)."""
+        out: Dict[str, object] = {"name": self.name, "base": self.base, "grid": self.grid}
+        if self.base_path:
+            out["base_path"] = self.base_path
+        return out

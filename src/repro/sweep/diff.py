@@ -1,0 +1,95 @@
+"""Structural diff of deterministic report payloads.
+
+Experiment reports serialise deterministically (equal configs → bitwise
+equal JSON), so the differences between two report dicts are exactly the
+*effects* of the config fields a sweep varied.  :func:`structural_diff`
+walks two JSON-like payloads and returns a flat list of change records::
+
+    {"path": "tables.classification[3].mean", "change": "changed",
+     "baseline": 0.918, "value": 0.922}
+
+Change kinds: ``changed`` (leaf values differ), ``added`` / ``removed``
+(dict key present on one side only), ``length`` (lists of different
+length; the common prefix is still diffed element by element).  Floats are
+compared exactly — the whole point of the determinism contract is that any
+difference is a real one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: One change record of a structural diff.
+DiffEntry = Dict[str, object]
+
+
+def structural_diff(baseline: object, value: object, path: str = "") -> List[DiffEntry]:
+    """All structural differences between two JSON-like payloads.
+
+    Returns an empty list iff the payloads are structurally equal.  Entries
+    are emitted in a deterministic order (sorted dict keys, list positions
+    ascending), so diffs of diffs are themselves stable.
+    """
+    entries: List[DiffEntry] = []
+    _walk(baseline, value, path, entries)
+    return entries
+
+
+def _walk(baseline: object, value: object, path: str, out: List[DiffEntry]) -> None:
+    if isinstance(baseline, dict) and isinstance(value, dict):
+        for key in sorted(set(baseline) | set(value), key=str):
+            sub_path = f"{path}.{key}" if path else str(key)
+            if key not in value:
+                out.append(
+                    {"path": sub_path, "change": "removed",
+                     "baseline": baseline[key], "value": None}
+                )
+            elif key not in baseline:
+                out.append(
+                    {"path": sub_path, "change": "added",
+                     "baseline": None, "value": value[key]}
+                )
+            else:
+                _walk(baseline[key], value[key], sub_path, out)
+        return
+    if isinstance(baseline, list) and isinstance(value, list):
+        if len(baseline) != len(value):
+            out.append(
+                {"path": path, "change": "length",
+                 "baseline": len(baseline), "value": len(value)}
+            )
+        for index in range(min(len(baseline), len(value))):
+            _walk(baseline[index], value[index], f"{path}[{index}]", out)
+        return
+    # Leaves (or mismatched container types): exact comparison.  `==` with
+    # a type guard so 1 vs 1.0 vs True register as changes, not equality.
+    if type(baseline) is not type(value) or baseline != value:
+        out.append(
+            {"path": path, "change": "changed", "baseline": baseline, "value": value}
+        )
+
+
+def summarize_diff(entries: List[DiffEntry], limit: int = 12) -> List[str]:
+    """Compact human-readable lines for a diff (truncated to *limit*)."""
+    lines: List[str] = []
+    for entry in entries[:limit]:
+        if entry["change"] == "changed":
+            lines.append(
+                f"{entry['path']}: {_fmt(entry['baseline'])} -> {_fmt(entry['value'])}"
+            )
+        elif entry["change"] == "length":
+            lines.append(
+                f"{entry['path']}: length {entry['baseline']} -> {entry['value']}"
+            )
+        else:
+            lines.append(f"{entry['path']}: {entry['change']}")
+    if len(entries) > limit:
+        lines.append(f"... and {len(entries) - limit} more difference(s)")
+    return lines
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = repr(value)
+    return text if len(text) <= 48 else text[:45] + "..."

@@ -398,11 +398,19 @@ class TestCli:
     def test_example_configs_parse_and_validate(self):
         from pathlib import Path
 
+        from repro.sweep import SweepConfig
+
         config_dir = Path(__file__).resolve().parent.parent / "examples" / "configs"
         paths = sorted(config_dir.glob("*.json"))
         assert len(paths) >= 3
         kinds = set()
         for path in paths:
+            if path.name.startswith("sweep_"):
+                # Sweep configs validate their base + every grid point.
+                sweep = SweepConfig.from_file(path)
+                for point in sweep.points():
+                    Runner().resolve(point.config)
+                continue
             config = ExperimentConfig.from_json(path.read_text())
             config.validate()
             Runner().resolve(config)

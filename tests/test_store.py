@@ -1,0 +1,421 @@
+"""Tests for the content-addressed result store (repro.store).
+
+Covers the canonical hashing layer (key stability and sensitivity, version
+salting, stage-1 scoping), the filesystem store (atomic round trips,
+eviction, self-healing on corrupted or truncated entries) and the cache
+integration (whole-report memoisation in the Runner, per-shard caching in
+the process backend) — including the headline contract: cached results are
+bitwise identical to freshly computed ones, for all three experiment kinds.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.config import (
+    DataConfig,
+    EvalConfig,
+    ExecutionConfig,
+    ExperimentConfig,
+    MetaModelConfig,
+)
+from repro.api.runner import Runner
+from repro.store import (
+    ResultStore,
+    StoreError,
+    canonical_json,
+    default_cache_root,
+    report_key,
+    shard_key,
+    stage1_payload,
+)
+from repro.store import keys as store_keys
+
+TINY_HEIGHT = 48
+TINY_WIDTH = 96
+
+
+def metaseg_config(seed: int = 5, **eval_kwargs) -> ExperimentConfig:
+    return ExperimentConfig(
+        kind="metaseg",
+        name="store-tiny",
+        seed=seed,
+        data=DataConfig(dataset="cityscapes_like", n_val=4,
+                        height=TINY_HEIGHT, width=TINY_WIDTH),
+        evaluation=EvalConfig(n_runs=2, **eval_kwargs),
+    )
+
+
+def timedynamic_config(seed: int = 5) -> ExperimentConfig:
+    return ExperimentConfig(
+        kind="timedynamic",
+        seed=seed,
+        data=DataConfig(dataset="kitti_like", n_sequences=2, n_frames=6,
+                        labeled_stride=2, height=TINY_HEIGHT, width=TINY_WIDTH),
+        meta_models=MetaModelConfig(
+            classifiers=["gradient_boosting"],
+            regressors=["gradient_boosting"],
+            classification_penalty=1e-3,
+            regression_penalty=1e-3,
+            model_params={"gradient_boosting": {"n_estimators": 8, "max_depth": 2,
+                                                "max_features": "sqrt"}},
+        ),
+        evaluation=EvalConfig(n_runs=1, n_frames_list=[0, 1], compositions=["R"]),
+    )
+
+
+def decision_config(seed: int = 5) -> ExperimentConfig:
+    return ExperimentConfig(
+        kind="decision",
+        seed=seed,
+        data=DataConfig(dataset="cityscapes_like", n_train=4, n_val=3,
+                        height=TINY_HEIGHT, width=TINY_WIDTH),
+        evaluation=EvalConfig(rules=["bayes", "ml"]),
+    )
+
+
+# ---------------------------------------------------------------- keys layer
+
+
+class TestCanonicalKeys:
+    def test_canonical_json_is_order_independent(self):
+        a = {"b": [1, 2], "a": {"y": 1.5, "x": None}}
+        b = {"a": {"x": None, "y": 1.5}, "b": [1, 2]}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_report_key_stable_across_dict_reordering(self):
+        config = metaseg_config().to_dict()
+        reordered = json.loads(json.dumps(config, sort_keys=True))
+        shuffled = dict(reversed(list(reordered.items())))
+        assert report_key(config) == report_key(shuffled)
+
+    def test_report_key_changes_for_any_field(self):
+        base = metaseg_config().to_dict()
+        keys = {report_key(base)}
+        mutations = [
+            ("seed", 6),
+            ("name", "other"),
+            ("kind", "decision"),
+            (("data", "n_val"), 5),
+            (("data", "height"), 64),
+            (("network", "profile"), "xception65"),
+            (("extraction", "connectivity"), 4),
+            (("extraction", "chunk_size"), 2),
+            (("execution", "backend"), "process"),
+            (("execution", "workers"), 2),
+            (("meta_models", "classifiers"), ["gradient_boosting"]),
+            (("meta_models", "classification_penalty"), 2.0),
+            (("evaluation", "n_runs"), 3),
+            (("evaluation", "train_fraction"), 0.7),
+        ]
+        for field, value in mutations:
+            mutated = copy.deepcopy(base)
+            if isinstance(field, tuple):
+                mutated[field[0]][field[1]] = value
+            else:
+                mutated[field] = value
+            keys.add(report_key(mutated))
+        assert len(keys) == len(mutations) + 1
+
+    def test_version_salt_invalidates_keys(self, monkeypatch):
+        config = metaseg_config().to_dict()
+        before = report_key(config)
+        monkeypatch.setattr(store_keys, "__version__", "999.0.0")
+        assert report_key(config) != before
+
+    def test_cache_format_invalidates_keys(self, monkeypatch):
+        config = metaseg_config().to_dict()
+        before = report_key(config)
+        monkeypatch.setattr(store_keys, "CACHE_FORMAT", store_keys.CACHE_FORMAT + 1)
+        assert report_key(config) != before
+
+
+class TestStage1Scoping:
+    """Shard keys cover exactly the fields that can influence the shard."""
+
+    def test_metaseg_ignores_protocol_side_fields(self):
+        base = metaseg_config().to_dict()
+        key = shard_key(base, 0, 2)
+        for mutate in (
+            lambda d: d["meta_models"].update(classifiers=["gradient_boosting"]),
+            lambda d: d["meta_models"].update(classification_penalty=9.0),
+            lambda d: d["evaluation"].update(n_runs=7),
+            lambda d: d["execution"].update(backend="process", workers=8),
+            lambda d: d["extraction"].update(chunk_size=2, max_workers=3),
+            lambda d: d.update(name="renamed"),
+        ):
+            mutated = copy.deepcopy(base)
+            mutate(mutated)
+            assert shard_key(mutated, 0, 2) == key
+
+    def test_metaseg_tracks_stage1_fields(self):
+        base = metaseg_config().to_dict()
+        key = shard_key(base, 0, 2)
+        for mutate in (
+            lambda d: d.update(seed=6),
+            lambda d: d["data"].update(n_val=5),
+            lambda d: d["network"].update(profile="xception65"),
+            lambda d: d["network"].update(overrides={"noise_scale": 0.5}),
+            lambda d: d["extraction"].update(connectivity=4),
+        ):
+            mutated = copy.deepcopy(base)
+            mutate(mutated)
+            assert shard_key(mutated, 0, 2) != key
+
+    def test_shard_key_tracks_index_range(self):
+        base = metaseg_config().to_dict()
+        assert shard_key(base, 0, 2) != shard_key(base, 2, 4)
+        assert shard_key(base, 0, 2) != shard_key(base, 0, 3)
+
+    def test_timedynamic_tracks_reference_network_and_feature_group(self):
+        base = timedynamic_config().to_dict()
+        key = shard_key(base, 0, 1)
+        ref = copy.deepcopy(base)
+        ref["network"]["reference_profile"] = "generic"
+        assert shard_key(ref, 0, 1) != key
+        group = copy.deepcopy(base)
+        group["meta_models"]["feature_group"] = "entropy_only"
+        assert shard_key(group, 0, 1) != key
+        protocol = copy.deepcopy(base)
+        protocol["evaluation"]["n_frames_list"] = [0, 1, 2]
+        protocol["meta_models"]["classifiers"] = ["neural_network"]
+        assert shard_key(protocol, 0, 1) == key
+
+    def test_decision_tracks_rules_strengths_category(self):
+        base = decision_config().to_dict()
+        key = shard_key(base, 0, 2)
+        for mutate in (
+            lambda d: d["evaluation"].update(rules=["bayes"]),
+            lambda d: d["evaluation"].update(strengths={"interpolated": 0.5}),
+            lambda d: d["evaluation"].update(category="car"),
+        ):
+            mutated = copy.deepcopy(base)
+            mutate(mutated)
+            assert shard_key(mutated, 0, 2) != key
+        protocol = copy.deepcopy(base)
+        protocol["meta_models"]["classifiers"] = ["gradient_boosting"]
+        protocol["evaluation"]["n_runs"] = 9
+        assert shard_key(protocol, 0, 2) == key
+
+    def test_unknown_kind_rejected(self):
+        base = metaseg_config().to_dict()
+        base["kind"] = "mystery"
+        with pytest.raises(ValueError, match="mystery"):
+            stage1_payload(base)
+
+
+# --------------------------------------------------------------- store layer
+
+
+class TestResultStore:
+    def test_json_round_trip_and_index(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = report_key({"payload": 1})
+        assert store.get(key) is None
+        store.put(key, {"tables": [1, 2.5, None]}, provenance={"type": "report"})
+        assert key in store
+        assert store.get(key) == {"tables": [1, 2.5, None]}
+        entries = store.entries()
+        assert [meta["key"] for meta in entries] == [key]
+        assert entries[0]["provenance"] == {"type": "report"}
+        assert entries[0]["codec"] == "json"
+        assert "created_unix" in entries[0]
+        stats = store.stats()
+        assert stats["n_entries"] == 1 and stats["payload_bytes"] > 0
+
+    def test_json_payloads_keep_order_and_allow_nan(self, tmp_path):
+        """Payloads are not key-canonicalised: order survives, NaN caches."""
+        store = ResultStore(tmp_path)
+        key = report_key({"payload": "order"})
+        store.put(key, {"z": 1, "a": [float("nan"), float("inf")]})
+        loaded = store.get(key)
+        assert list(loaded) == ["z", "a"]
+        assert loaded["a"][0] != loaded["a"][0]  # NaN round-trips
+        assert loaded["a"][1] == float("inf")
+
+    def test_clear_reclaims_orphan_files(self, tmp_path):
+        """A crash can leave payloads without sidecars; clear() wipes them."""
+        store = ResultStore(tmp_path)
+        store.put(report_key({"n": 1}), {"n": 1})
+        orphan = tmp_path / "objects" / "ab" / ("ab" + "0" * 62 + ".payload")
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"stranded")
+        assert store.clear() == 1
+        assert not (tmp_path / "objects").exists()
+
+    def test_pickle_round_trip_preserves_arrays_bitwise(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = report_key({"payload": "pickle"})
+        payload = {"values": np.arange(12, dtype=np.float64).reshape(3, 4) / 7.0}
+        store.put(key, payload, codec="pickle")
+        loaded = store.get(key, codec="pickle")
+        np.testing.assert_array_equal(loaded["values"], payload["values"])
+        assert loaded["values"].dtype == payload["values"].dtype
+
+    def test_evict_clear_prune(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = [report_key({"n": n}) for n in range(3)]
+        for n, key in enumerate(keys):
+            store.put(key, {"n": n})
+        assert store.evict(keys[0]) is True
+        assert store.evict(keys[0]) is False
+        assert store.get(keys[0]) is None
+        assert store.stats()["n_entries"] == 2
+        assert store.prune(max_entries=1) == 1
+        assert store.stats()["n_entries"] == 1
+        assert store.clear() == 1
+        assert store.stats()["n_entries"] == 0
+
+    def test_default_root_honours_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+        assert ResultStore().root == tmp_path / "custom"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_root() == tmp_path / "xdg" / "repro"
+
+    def test_rejects_bad_keys_and_codecs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(StoreError):
+            store.get("../escape")
+        with pytest.raises(StoreError):
+            store.put("UPPER", {})
+        with pytest.raises(StoreError):
+            store.put(report_key({}), {}, codec="msgpack")
+        with pytest.raises(StoreError):
+            store.prune(max_entries=-1)
+
+    @pytest.mark.parametrize(
+        "corruption",
+        ["truncate_payload", "tamper_payload", "drop_meta", "garbage_meta"],
+    )
+    def test_corrupted_entries_fall_back_to_miss(self, tmp_path, corruption):
+        store = ResultStore(tmp_path)
+        key = report_key({"will": "corrupt"})
+        store.put(key, {"rows": list(range(50))})
+        payload_path = store._payload_path(key)
+        meta_path = store._meta_path(key)
+        if corruption == "truncate_payload":
+            payload_path.write_bytes(payload_path.read_bytes()[:10])
+        elif corruption == "tamper_payload":
+            payload_path.write_bytes(b'{"rows": [1]}')
+        elif corruption == "drop_meta":
+            meta_path.unlink()
+        else:
+            meta_path.write_text("{not json")
+        assert store.get(key) is None
+        # The broken entry was evicted, and the key is re-publishable.
+        assert key not in store
+        store.put(key, {"rows": [2]})
+        assert store.get(key) == {"rows": [2]}
+
+    def test_codec_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = report_key({"codec": "mismatch"})
+        store.put(key, {"x": 1}, codec="json")
+        assert store.get(key, codec="pickle") is None
+
+
+# ------------------------------------------------------- runner memoisation
+
+
+class TestRunnerMemoisation:
+    def test_metaseg_hit_miss_and_bitwise_parity(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = Runner(store=store)
+        config = metaseg_config()
+        first = runner.run(config)
+        assert first.cache["hit"] is False
+        second = runner.run(metaseg_config())
+        assert second.cache["hit"] is True
+        assert second.cache["key"] == first.cache["key"]
+        fresh = Runner().run(metaseg_config())
+        assert not fresh.cache
+        assert first.to_json() == second.to_json() == fresh.to_json()
+        # Cached report rehydrates into a fully usable ExperimentReport —
+        # including identical human-readable output (row dict order survives
+        # the store round trip).
+        assert second.table("classification") == first.table("classification")
+        assert second.summary_rows() == first.summary_rows()
+        assert second.timings.keys() == {"cache_lookup"}
+
+    def test_config_change_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = Runner(store=store)
+        runner.run(metaseg_config())
+        changed = runner.run(metaseg_config(seed=6))
+        assert changed.cache["hit"] is False
+        assert store.stats()["n_entries"] == 2
+
+    def test_corrupted_report_entry_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = Runner(store=store)
+        first = runner.run(metaseg_config())
+        key = first.cache["key"]
+        store._payload_path(key).write_bytes(b"{broken")
+        again = runner.run(metaseg_config())
+        assert again.cache["hit"] is False
+        assert again.to_json() == first.to_json()
+        assert runner.run(metaseg_config()).cache["hit"] is True
+
+    def test_timedynamic_and_decision_parity(self, tmp_path):
+        """Cached reports are bitwise identical for the other two kinds."""
+        store = ResultStore(tmp_path)
+        runner = Runner(store=store)
+        for make in (timedynamic_config, decision_config):
+            first = runner.run(make())
+            cached = runner.run(make())
+            assert first.cache["hit"] is False
+            assert cached.cache["hit"] is True
+            assert first.to_json() == cached.to_json()
+
+
+# ------------------------------------------------------- shard-level caching
+
+
+class TestShardCache:
+    def _process_config(self, **meta_kwargs) -> ExperimentConfig:
+        return ExperimentConfig(
+            kind="metaseg",
+            seed=5,
+            data=DataConfig(dataset="cityscapes_like", n_val=4,
+                            height=TINY_HEIGHT, width=TINY_WIDTH),
+            execution=ExecutionConfig(backend="process", workers=2),
+            meta_models=MetaModelConfig(**meta_kwargs),
+            evaluation=EvalConfig(n_runs=2),
+        )
+
+    def test_meta_model_change_reuses_every_shard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = Runner(store=store)
+        cold = runner.run(self._process_config())
+        assert cold.cache["hit"] is False
+        assert cold.cache["shards"] == {"hits": 0, "misses": 2}
+        # Protocol-side change: new report key, but both shards are served
+        # from the store — extraction is never recomputed.
+        swept = runner.run(self._process_config(classification_penalty=3.0))
+        assert swept.cache["hit"] is False
+        assert swept.cache["shards"] == {"hits": 2, "misses": 0}
+        fresh = Runner().run(self._process_config(classification_penalty=3.0))
+        assert swept.to_json() == fresh.to_json()
+
+    def test_corrupted_shard_entry_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = Runner(store=store)
+        runner.run(self._process_config())
+        shard_keys = [
+            meta["key"] for meta in store.entries()
+            if meta["provenance"].get("type") == "shard"
+        ]
+        assert len(shard_keys) == 2
+        store._payload_path(shard_keys[0]).write_bytes(b"\x80truncated")
+        swept = runner.run(self._process_config(classification_penalty=3.0))
+        assert swept.cache["shards"] == {"hits": 1, "misses": 1}
+        fresh = Runner().run(self._process_config(classification_penalty=3.0))
+        assert swept.to_json() == fresh.to_json()
