@@ -26,6 +26,12 @@ from repro.segmentation.sequence import SequenceConfig
 #: Directory where benches drop their textual / PPM artifacts.
 ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
 
+#: Tracked directory for committed benchmark summaries.  Unlike
+#: ``benchmarks/artifacts`` (gitignored, regenerated every run), JSONs written
+#: here are committed so the perf trajectory survives across PRs; benches only
+#: write them in full (non-smoke) mode so CI smoke runs never dirty the tree.
+TRAJECTORY_DIR = Path(__file__).resolve().parent / "trajectory"
+
 #: Global scale factor for the benchmark workloads.
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
@@ -53,6 +59,16 @@ def write_artifact(name: str, rows: Iterable[str]) -> Path:
     return path
 
 
+def _write_bench_record(directory: Path, name: str, payload: dict) -> Path:
+    """Write one ``BENCH_<name>.json`` record into *directory*."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    record = {"bench": name, "unit": "seconds"}
+    record.update(payload)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 def write_bench_json(name: str, payload: dict) -> Path:
     """Write a benchmark result to ``benchmarks/artifacts/BENCH_<name>.json``.
 
@@ -60,12 +76,16 @@ def write_bench_json(name: str, payload: dict) -> Path:
     [...]}`` plus free-form configuration keys, so successive runs of a bench
     can be diffed to track the performance trajectory.
     """
-    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
-    path = ARTIFACT_DIR / f"BENCH_{name}.json"
-    record = {"bench": name, "unit": "seconds"}
-    record.update(payload)
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    return path
+    return _write_bench_record(ARTIFACT_DIR, name, payload)
+
+
+def write_trajectory_json(name: str, payload: dict) -> Path:
+    """Write a committed benchmark summary to ``benchmarks/trajectory``.
+
+    Same record shape as :func:`write_bench_json`; call only from full
+    (non-smoke) benchmark runs.
+    """
+    return _write_bench_record(TRAJECTORY_DIR, name, payload)
 
 
 @pytest.fixture(scope="session")

@@ -13,11 +13,20 @@ echo "=== tier-1 test suite ==="
 python -m pytest -x -q
 
 echo "=== parity-fuzz suite ==="
-python -m pytest -q -m fuzz tests/test_segments_parity_fuzz.py tests/test_api_execution.py
+python -m pytest -q -m fuzz tests/test_segments_parity_fuzz.py tests/test_api_execution.py \
+    tests/test_tracking_parity_fuzz.py tests/test_core_metrics_dataset.py
 
 echo "=== segment-matching benchmark (smoke) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
     python benchmarks/bench_segment_matching.py --smoke
+
+echo "=== tracking benchmark (smoke: bitwise parity + speedup sanity) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_tracking.py --smoke
+
+echo "=== fused-extraction benchmark (smoke: bitwise parity + speedup sanity) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_extraction_fused.py --smoke
 
 echo "=== runner-overhead benchmark (smoke) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \

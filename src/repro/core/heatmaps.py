@@ -12,11 +12,17 @@ All heatmaps are normalised to [0, 1]:
 * ``probability_margin_heatmap`` — 1 minus the difference between the largest
   and second-largest class probability (1 = maximal ambiguity);
 * ``variation_ratio_heatmap`` — 1 minus the largest class probability.
+
+``fused_dispersion_heatmaps`` computes all three (plus the max-probability
+map itself) from **one** top-2 partition of the softmax field and one
+validation pass, bitwise-identical to calling the individual functions; it is
+the single-pass primitive behind the fused metric extraction of
+:mod:`repro.core.metrics`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,8 +53,86 @@ def probability_margin_heatmap(probs: np.ndarray) -> np.ndarray:
     return 1.0 - margin
 
 
+def dispersion_scratch(shape: Tuple[int, int, int]) -> Tuple[np.ndarray, np.ndarray]:
+    """Two reusable (H, W, C) work buffers for one field shape.
+
+    :func:`fused_dispersion_heatmaps` spends a large share of its wall clock
+    faulting freshly-allocated (H, W, C) temporaries per call; video
+    pipelines process thousands of equally-sized frames, so callers on the
+    hot path allocate this scratch once and pass it to every call.  Two
+    buffers suffice: the first holds the partition and is reused for the
+    clipped field once the top-2 values are consumed, the second holds the
+    entropy integrand.  The buffers are plain work space — nothing returned
+    by the fused function aliases them — but they must not be shared between
+    concurrent calls.
+    """
+    return (np.empty(shape), np.empty(shape))
+
+
+def fused_dispersion_heatmaps(
+    probs: np.ndarray,
+    validate: bool = True,
+    scratch: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+    """All dispersion heatmaps plus the max-probability map, in one pass.
+
+    One partition yields both the largest and second-largest class
+    probability, so V (1 - p_max), M (1 - (p_max - p_2nd)) and the ``pmax``
+    map share a single pass over the (H, W, C) field instead of three, and
+    the field is validated once instead of once per heatmap.  The probability
+    maximum is one of the field's own (positive) entries, so reading it from
+    the partition is bitwise-identical to ``probs.max(axis=2)``; with
+    ``scratch`` (see :func:`dispersion_scratch`) the three (H, W, C)
+    temporaries are reused instead of reallocated, which changes where the
+    intermediates live but not a single arithmetic operation.
+
+    Returns
+    -------
+    heatmaps, pmax:
+        The ``{"E", "M", "V"}`` dict of :func:`dispersion_heatmaps` and the
+        per-pixel maximum class probability.
+    """
+    if validate:
+        probs = check_probability_field(probs)
+    n_classes = probs.shape[2]
+    if scratch is None:
+        scratch = dispersion_scratch(probs.shape)
+    work, integrand = scratch
+    work[...] = probs
+    work.partition(n_classes - 2, axis=2)
+    top_two = work[:, :, -2:]
+    # Consume the partition before the buffer is reused for the clipped
+    # field: pmax as a contiguous copy (downstream per-segment reductions
+    # ravel it, and it must not alias the work buffer), M as a fresh array.
+    pmax = np.ascontiguousarray(top_two[:, :, 1])
+    margin_heatmap = 1.0 - (top_two[:, :, 1] - top_two[:, :, 0])
+    clipped = np.clip(probs, 1e-12, 1.0, out=work)
+    # x*log(x) in place: identical multiplications in identical order, no
+    # fresh (H, W, C) temporaries.
+    np.log(clipped, out=integrand)
+    np.multiply(clipped, integrand, out=integrand)
+    entropy = -np.sum(integrand, axis=2)
+    heatmaps = {
+        "E": entropy / np.log(n_classes),
+        "M": margin_heatmap,
+        "V": 1.0 - pmax,
+    }
+    return heatmaps, pmax
+
+
 def dispersion_heatmaps(probs: np.ndarray) -> Dict[str, np.ndarray]:
     """All dispersion heatmaps keyed by their short names (E, M, V)."""
+    probs = check_probability_field(probs)
+    heatmaps, _pmax = fused_dispersion_heatmaps(probs, validate=False)
+    return heatmaps
+
+
+def _reference_dispersion_heatmaps(probs: np.ndarray) -> Dict[str, np.ndarray]:
+    """Seed implementation of :func:`dispersion_heatmaps` (one pass per map).
+
+    Retained verbatim as the baseline of the fused-extraction parity tests
+    and ``benchmarks/bench_extraction_fused.py``; do not use on hot paths.
+    """
     probs = check_probability_field(probs)
     return {
         "E": entropy_heatmap(probs),

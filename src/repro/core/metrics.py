@@ -17,13 +17,23 @@ eq. (3)).  Following the MetaSeg construction ([16] of the paper) we compute:
 * context: the predicted class id, a thing/stuff flag and the normalised
   centroid position.
 
-The extractor is fully vectorised over segments (``np.bincount`` on the
-component-id image), so extracting metrics for hundreds of segments costs a
-handful of array passes.
+The extractor is fully vectorised over segments **and** over metric columns:
+one top-2 partition of the softmax field yields V, M and the max-probability
+map at once (:func:`repro.core.heatmaps.fused_dispersion_heatmaps`), and all
+per-segment sums — dispersion heatmaps, pixel coordinates, max probability and
+every per-class mean probability — come from a single grouped reduction (one
+``np.bincount`` over ``component_id * n_columns + column`` codes with stacked
+weights) plus one such pass each for the interior and boundary restrictions;
+interior/boundary *counts* are derived by exact integer subtraction instead of
+masked re-bincounts.  The column-at-a-time seed implementation is retained
+verbatim as ``_reference_compute_features``; the fused path is bitwise-
+identical to it (``tests/test_core_metrics_dataset.py`` fuzzes the parity,
+``benchmarks/bench_extraction_fused.py`` gates the speedup).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,7 +41,11 @@ import numpy as np
 
 from repro.api.registry import METRIC_GROUPS as METRIC_GROUP_REGISTRY
 from repro.core.dataset import MetricsDataset
-from repro.core.heatmaps import dispersion_heatmaps
+from repro.core.heatmaps import (
+    _reference_dispersion_heatmaps,
+    dispersion_scratch,
+    fused_dispersion_heatmaps,
+)
 from repro.core.segments import Segmentation, extract_segments, segment_ious
 from repro.segmentation.labels import LabelSpace, cityscapes_label_space
 from repro.utils.validation import check_label_map, check_probability_field, check_same_shape
@@ -94,6 +108,11 @@ class SegmentMetricsExtractor:
         # frames; video pipelines process thousands of equally-sized frames,
         # so the grids are allocated once per resolution instead of per frame.
         self._grid_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        # Mutable (H, W, C) work buffers for the fused extraction, reused
+        # across frames of equal shape.  Unlike the read-only grids these are
+        # written on every call, so they live in thread-local storage — the
+        # batched extraction layer shares one extractor across a thread pool.
+        self._scratch = threading.local()
 
     def _pixel_grids(self, height: int, width: int) -> Tuple[np.ndarray, np.ndarray]:
         """Cached (row, col) coordinate grids for a frame shape."""
@@ -108,6 +127,36 @@ class SegmentMetricsExtractor:
             grids = (rows_grid, cols_grid)
             self._grid_cache[key] = grids
         return grids
+
+    def _thread_scratch(self, height: int, width: int, n_classes: int):
+        """This thread's reusable fused-extraction buffers for a field shape.
+
+        Returns ``(dispersion_scratch, class_codes_buffer)``.  Only the most
+        recent shape is retained per thread, which bounds the footprint to
+        one working set while still serving the frame-after-frame video case.
+        """
+        shape = (height, width, n_classes)
+        state = getattr(self._scratch, "state", None)
+        if state is None or state[0] != shape:
+            state = (
+                shape,
+                dispersion_scratch(shape),
+                np.empty((height * width, n_classes), dtype=np.int64),
+            )
+            self._scratch.state = state
+        return state[1], state[2]
+
+    def __getstate__(self):
+        """Drop unpicklable / bulky per-thread scratch state when pickled."""
+        state = self.__dict__.copy()
+        state["_scratch"] = None
+        state["_grid_cache"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._grid_cache = {}
+        self._scratch = threading.local()
 
     # ------------------------------------------------------------------ ---
     def feature_names(self) -> List[str]:
@@ -183,6 +232,133 @@ class SegmentMetricsExtractor:
 
     # ------------------------------------------------------------------ ---
     def _compute_features(self, probs: np.ndarray, prediction: Segmentation) -> np.ndarray:
+        """Fused single-pass aggregation of all segment metrics.
+
+        Bitwise-identical to :meth:`_reference_compute_features` (the seed
+        column-at-a-time path): the stacked-weights ``np.bincount`` adds the
+        same weights to the same bins in the same (pixel-major) order as the
+        seed's one-bincount-per-column loop, and the interior/boundary counts
+        it derives by subtraction are exact in float64.
+        """
+        components = prediction.components
+        n_segments = prediction.n_segments
+        n_bins = n_segments + 1
+        flat_components = components.ravel()
+        height, width = components.shape
+        n_classes = probs.shape[2]
+
+        sizes = np.bincount(flat_components, minlength=n_bins).astype(np.float64)
+        interior = self._interior_mask(components)
+        interior_flat = interior.ravel()
+        boundary_flat = ~interior_flat
+        components_interior = flat_components[interior_flat]
+        components_boundary = flat_components[boundary_flat]
+        sizes_in = np.bincount(components_interior, minlength=n_bins).astype(np.float64)
+        # Exact: both operands are integers well below 2**53, so the
+        # difference carries the same float64 bits as a direct bincount of
+        # the boundary pixels.
+        sizes_bd = sizes - sizes_in
+
+        # probs is already validated by extract_full; one partition feeds V,
+        # M and pmax, one log pass feeds E, and the (H, W, C) work buffers
+        # are reused across equally-shaped frames.
+        heatmap_scratch, class_codes = self._thread_scratch(height, width, n_classes)
+        heatmaps, pmax = fused_dispersion_heatmaps(
+            probs, validate=False, scratch=heatmap_scratch
+        )
+
+        def _mean(sums: np.ndarray, counts: np.ndarray) -> np.ndarray:
+            """Per-segment mean from precomputed sums and counts."""
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(counts > 0, sums / np.maximum(counts, 1.0), 0.0)
+
+        def _sum(values_flat: np.ndarray) -> np.ndarray:
+            """Per-segment sum of an already-flat full-image value array."""
+            return np.bincount(flat_components, weights=values_flat, minlength=n_bins)
+
+        # The three interior/boundary-restricted dispersion reductions reuse
+        # the hoisted component selections and the exact counts derived above
+        # (the seed path re-extracts mask-selected components and re-counts
+        # them for every heatmap).
+        rows_grid, cols_grid = self._pixel_grids(height, width)
+
+        columns: List[np.ndarray] = []
+        # geometry ------------------------------------------------------------
+        safe_bd = np.maximum(sizes_bd, 1.0)
+        columns.append(sizes)                       # S
+        columns.append(sizes_in)                    # S_in
+        columns.append(sizes_bd)                    # S_bd
+        columns.append(sizes / safe_bd)             # S_rel
+        columns.append(sizes_in / safe_bd)          # S_rel_in
+        # dispersion ----------------------------------------------------------
+        for key in ("E", "M", "V"):
+            heatmap_flat = heatmaps[key].ravel()
+            mean_all = _mean(_sum(heatmap_flat), sizes)
+            mean_in = _mean(
+                np.bincount(
+                    components_interior,
+                    weights=heatmap_flat[interior_flat],
+                    minlength=n_bins,
+                ),
+                sizes_in,
+            )
+            mean_bd = _mean(
+                np.bincount(
+                    components_boundary,
+                    weights=heatmap_flat[boundary_flat],
+                    minlength=n_bins,
+                ),
+                sizes_bd,
+            )
+            columns.append(mean_all)                               # D_mean
+            columns.append(mean_in)                                # D_in_mean
+            columns.append(mean_bd)                                # D_bd_mean
+            columns.append(mean_all * sizes_bd / np.maximum(sizes, 1.0))      # D_rel
+            columns.append(mean_in * sizes_bd / np.maximum(sizes_in, 1.0))    # D_rel_in
+        # context ---------------------------------------------------------------
+        class_per_segment = np.zeros(n_bins, dtype=np.float64)
+        is_thing = np.zeros(n_bins, dtype=np.float64)
+        thing_ids = set(self.label_space.thing_ids())
+        for sid, info in prediction.segments.items():
+            class_per_segment[sid] = info.class_id
+            is_thing[sid] = 1.0 if info.class_id in thing_ids else 0.0
+        columns.append(class_per_segment)
+        columns.append(is_thing)
+        columns.append(_mean(_sum(rows_grid.ravel()), sizes) / max(1, height - 1))
+        columns.append(_mean(_sum(cols_grid.ravel()), sizes) / max(1, width - 1))
+        columns.append(_mean(_sum(pmax.ravel()), sizes))            # pmax_mean
+        # per-class mean probabilities -----------------------------------------
+        # One grouped reduction (codes = component_id * C + class) over the
+        # softmax field itself replaces the seed's per-class strided-slice
+        # copy + bincount passes; the raveled field is the weight vector with
+        # zero copies, and per bin the additions happen in the same pixel
+        # order as the seed's per-column bincount.
+        np.add(
+            (flat_components * n_classes)[:, None],
+            np.arange(n_classes, dtype=np.int64)[None, :],
+            out=class_codes,
+        )
+        class_sums = np.bincount(
+            class_codes.ravel(),
+            weights=np.ascontiguousarray(probs).ravel(),
+            minlength=n_bins * n_classes,
+        ).reshape(n_bins, n_classes)
+        for class_index in range(n_classes):
+            columns.append(_mean(class_sums[:, class_index], sizes))
+
+        matrix = np.stack(columns, axis=1)
+        # Drop the background bin 0; segments are 1..n.
+        return matrix[1:, :]
+
+    def _reference_compute_features(
+        self, probs: np.ndarray, prediction: Segmentation
+    ) -> np.ndarray:
+        """Seed column-at-a-time extraction (one bincount pass per metric).
+
+        Retained verbatim as the parity ground truth of the fused
+        :meth:`_compute_features` and as the baseline timed by
+        ``benchmarks/bench_extraction_fused.py``; do not use on hot paths.
+        """
         components = prediction.components
         n_segments = prediction.n_segments
         n_bins = n_segments + 1
@@ -197,7 +373,7 @@ class SegmentMetricsExtractor:
         ).astype(np.float64)
         sizes_bd = sizes - sizes_in
 
-        heatmaps = dispersion_heatmaps(probs)
+        heatmaps = _reference_dispersion_heatmaps(probs)
 
         def _segment_mean(values: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
             """Mean of *values* per segment (optionally restricted to a mask)."""

@@ -122,6 +122,38 @@ class Segmentation:
             upper = max(upper, max(self.segments))
         return upper
 
+    def pixel_groups(self) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Per-segment pixel coordinates ``(rows, cols)`` in scan order.
+
+        One stable argsort of the component image groups the pixels of every
+        segment at once, so no caller ever needs a dense per-segment mask or a
+        full-image scan per segment (the tracker's shifted-overlap fast path
+        builds on this).  The result is cached on the instance; each array
+        pair matches ``np.nonzero(components == segment_id)`` exactly.
+        """
+        cached = getattr(self, "_pixel_groups", None)
+        if cached is not None:
+            return cached
+        groups: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        flat = self.components.ravel()
+        if flat.size:
+            width = self.components.shape[1]
+            # Stable sort keeps equal ids in ascending pixel order, so each
+            # run of the sorted index array is already in scan order.
+            order = np.argsort(flat, kind="stable")
+            sorted_ids = flat[order]
+            run_starts = np.nonzero(np.diff(sorted_ids))[0] + 1
+            starts = np.concatenate([[0], run_starts])
+            stops = np.concatenate([run_starts, [sorted_ids.size]])
+            for start, stop in zip(starts, stops):
+                segment_id = int(sorted_ids[start])
+                if segment_id == 0:
+                    continue
+                pixel_index = order[start:stop]
+                groups[segment_id] = (pixel_index // width, pixel_index % width)
+        self._pixel_groups = groups
+        return groups
+
     def class_lookup(self, size: Optional[int] = None) -> np.ndarray:
         """Dense component-id → class-id lookup table.
 

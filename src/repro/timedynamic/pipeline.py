@@ -148,7 +148,15 @@ class TimeDynamicPipeline:
     def _process_sequence(
         self, dataset: KittiLikeDataset, sequence_index: int, cache: bool = True
     ) -> SequenceMetrics:
-        """Inference, pseudo labelling, extraction and tracking for one sequence."""
+        """Inference, pseudo labelling, extraction and tracking for one sequence.
+
+        Both per-frame hot paths are sparse single-pass computations: metric
+        extraction runs the fused aggregation of
+        :class:`~repro.core.metrics.SegmentMetricsExtractor` (one top-2
+        partition + grouped bincounts) and the tracker matches segments via
+        :func:`~repro.timedynamic.tracking.match_segments`'s contingency
+        table, so per-frame cost is O(H×W) rather than O(n_segments × H×W).
+        """
         frames_per_sequence = dataset.n_frames_per_sequence
         samples = self._sequence_samples(dataset, sequence_index, cache)
         probability_fields = []

@@ -16,16 +16,41 @@ The tracker below follows that recipe:
 * greedy one-to-one assignment by decreasing score; unmatched new segments
   start new tracks, unmatched old tracks stay alive for a configurable number
   of frames (so short flickers do not break identities).
+
+Sparse single-pass matching
+---------------------------
+
+``match_segments`` is vectorised the same way as the static matching in
+:mod:`repro.core.segments`:
+
+* all zero-shift candidate overlaps come from **one** contingency-table pass
+  (:func:`repro.utils.connected_components.pair_contingency`) over the two
+  component images;
+* segments with a non-zero expected shift scatter their sparse pixel-index
+  list (grouped once per frame via :meth:`Segmentation.pixel_groups`) by the
+  shift and read the overlaps against *all* current segments from one
+  ``np.bincount`` — never a dense per-segment mask, never a full-image scan
+  inside the pair loop.
+
+The per-segment-mask implementation is retained verbatim as
+``_reference_match_segments``; ``tests/test_tracking_parity_fuzz.py`` asserts
+the two are bitwise-identical (same match dicts, same insertion order, same
+greedy tie-breaks) on randomized video sequences, and
+``benchmarks/bench_tracking.py`` gates the speedup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.segments import Segmentation
+from repro.utils.connected_components import pair_contingency
+
+#: Bounding-box margin (pixels) of the cheap candidate prefilter.
+_BOX_MARGIN = 8
 
 
 @dataclass
@@ -80,6 +105,11 @@ def match_segments(
 ) -> Dict[int, int]:
     """Greedy one-to-one matching of segments between two consecutive frames.
 
+    Vectorised over segment pairs (see the module docstring): zero-shift
+    overlaps come from one contingency-table pass, shifted overlaps from one
+    sparse scatter per shifted segment.  Bitwise-identical to
+    :func:`_reference_match_segments`.
+
     Parameters
     ----------
     previous, current:
@@ -94,6 +124,123 @@ def match_segments(
     -------
     dict
         Mapping previous segment id → current segment id.
+    """
+    if not 0.0 <= min_overlap_fraction <= 1.0:
+        raise ValueError("min_overlap_fraction must be in [0, 1]")
+    shifts = shifts or {}
+    prev_ids = previous.segment_ids()
+    curr_ids = current.segment_ids()
+    if not prev_ids or not curr_ids:
+        return {}
+    n_prev = len(prev_ids)
+    n_curr = len(curr_ids)
+    prev_ids_arr = np.array(prev_ids, dtype=np.int64)
+    curr_ids_arr = np.array(curr_ids, dtype=np.int64)
+    prev_infos = [previous.segments[sid] for sid in prev_ids]
+    curr_infos = [current.segments[sid] for sid in curr_ids]
+    prev_class = np.array([info.class_id for info in prev_infos], dtype=np.int64)
+    curr_class = np.array([info.class_id for info in curr_infos], dtype=np.int64)
+    prev_boxes = np.array([info.bounding_box for info in prev_infos], dtype=np.float64)
+    curr_boxes = np.array([info.bounding_box for info in curr_infos], dtype=np.float64)
+    prev_sizes = np.array([info.size for info in prev_infos], dtype=np.int64)
+    curr_sizes = np.array([info.size for info in curr_infos], dtype=np.int64)
+    shift_arr = np.empty((n_prev, 2), dtype=np.float64)
+    for row, prev_id in enumerate(prev_ids):
+        shift_arr[row] = shifts.get(prev_id, (0.0, 0.0))
+
+    # Candidate mask: equal class and shifted bounding boxes within the margin
+    # (the exact float arithmetic of _boxes_close, broadcast over all pairs).
+    shifted_top = prev_boxes[:, 0:1] + (shift_arr[:, 0:1] - _BOX_MARGIN)
+    shifted_bottom = prev_boxes[:, 2:3] + (shift_arr[:, 0:1] + _BOX_MARGIN)
+    shifted_left = prev_boxes[:, 1:2] + (shift_arr[:, 1:2] - _BOX_MARGIN)
+    shifted_right = prev_boxes[:, 3:4] + (shift_arr[:, 1:2] + _BOX_MARGIN)
+    separated = (
+        (shifted_bottom <= curr_boxes[None, :, 0])
+        | (curr_boxes[None, :, 2] <= shifted_top)
+        | (shifted_right <= curr_boxes[None, :, 1])
+        | (curr_boxes[None, :, 3] <= shifted_left)
+    )
+    candidate = (prev_class[:, None] == curr_class[None, :]) & ~separated
+
+    # Pairwise overlaps, computed without any per-segment dense mask.
+    overlap = np.zeros((n_prev, n_curr), dtype=np.int64)
+    zero_shift = (shift_arr[:, 0] == 0.0) & (shift_arr[:, 1] == 0.0)
+    max_curr_id = int(curr_ids_arr.max())
+    col_of = np.full(max_curr_id + 1, -1, dtype=np.int64)
+    col_of[curr_ids_arr] = np.arange(n_curr, dtype=np.int64)
+    if np.any(zero_shift):
+        # One pass yields every unshifted candidate overlap at once.
+        table_prev, table_curr, table_counts = pair_contingency(
+            previous.components, current.components
+        )
+        max_prev_id = int(prev_ids_arr.max())
+        row_of = np.full(max_prev_id + 1, -1, dtype=np.int64)
+        row_of[prev_ids_arr[zero_shift]] = np.nonzero(zero_shift)[0]
+        in_range = (
+            (table_prev >= 0) & (table_prev <= max_prev_id)
+            & (table_curr >= 0) & (table_curr <= max_curr_id)
+        )
+        rows = row_of[np.clip(table_prev, 0, max_prev_id)]
+        cols = col_of[np.clip(table_curr, 0, max_curr_id)]
+        keep = in_range & (rows >= 0) & (cols >= 0)
+        overlap[rows[keep], cols[keep]] = table_counts[keep]
+    if not np.all(zero_shift):
+        height, width = previous.components.shape
+        groups = previous.pixel_groups()
+        curr_flat = current.components.ravel()
+        for row in np.nonzero(~zero_shift)[0]:
+            group = groups.get(prev_ids[row])
+            if group is None:
+                continue
+            pixel_rows, pixel_cols = group
+            shifted_rows = np.round(pixel_rows + shift_arr[row, 0]).astype(np.int64)
+            shifted_cols = np.round(pixel_cols + shift_arr[row, 1]).astype(np.int64)
+            keep = (
+                (shifted_rows >= 0)
+                & (shifted_rows < height)
+                & (shifted_cols >= 0)
+                & (shifted_cols < width)
+            )
+            if not np.any(keep):
+                continue
+            hits = curr_flat[shifted_rows[keep] * width + shifted_cols[keep]]
+            counts = np.bincount(hits, minlength=max_curr_id + 1)
+            overlap[row, :] = counts[curr_ids_arr]
+
+    # Acceptance test and greedy assignment, replicating the reference's
+    # candidate order (row-major over sorted ids) and stable descending sort.
+    smaller = np.minimum(prev_sizes[:, None], curr_sizes[None, :])
+    accepted = candidate & (smaller > 0) & (
+        overlap / np.maximum(smaller, 1) >= min_overlap_fraction
+    )
+    cand_rows, cand_cols = np.nonzero(accepted)
+    cand_overlaps = overlap[cand_rows, cand_cols]
+    order = np.argsort(-cand_overlaps, kind="stable")
+    matched_prev: set = set()
+    matched_curr: set = set()
+    matches: Dict[int, int] = {}
+    for index in order:
+        prev_id = prev_ids[cand_rows[index]]
+        curr_id = curr_ids[cand_cols[index]]
+        if prev_id in matched_prev or curr_id in matched_curr:
+            continue
+        matches[prev_id] = curr_id
+        matched_prev.add(prev_id)
+        matched_curr.add(curr_id)
+    return matches
+
+
+def _reference_match_segments(
+    previous: Segmentation,
+    current: Segmentation,
+    shifts: Optional[Dict[int, Tuple[float, float]]] = None,
+    min_overlap_fraction: float = 0.1,
+) -> Dict[int, int]:
+    """Per-segment-mask reference for :func:`match_segments`.
+
+    The original O(n_prev × n_curr × H×W) implementation, retained verbatim
+    as the parity-fuzz ground truth and for the tracking benchmark; do not use
+    it on hot paths.
     """
     if not 0.0 <= min_overlap_fraction <= 1.0:
         raise ValueError("min_overlap_fraction must be in [0, 1]")
@@ -152,9 +299,19 @@ class SegmentTracker:
     Usage: call :meth:`update` once per frame (in order) with the frame's
     :class:`~repro.core.segments.Segmentation`; afterwards :attr:`tracks`
     contains every track with its per-frame segment ids.
+
+    ``match_fn`` overrides the frame-pair matcher (same signature as
+    :func:`match_segments`); it exists so the parity-fuzz suite and the
+    tracking benchmark can run a whole tracker against
+    :func:`_reference_match_segments`.
     """
 
-    def __init__(self, max_missed_frames: int = 2, min_overlap_fraction: float = 0.1) -> None:
+    def __init__(
+        self,
+        max_missed_frames: int = 2,
+        min_overlap_fraction: float = 0.1,
+        match_fn: Optional[Callable[..., Dict[int, int]]] = None,
+    ) -> None:
         if max_missed_frames < 0:
             raise ValueError("max_missed_frames must be non-negative")
         self.max_missed_frames = max_missed_frames
@@ -164,6 +321,11 @@ class SegmentTracker:
         self._next_track_id = 0
         self._frame_index = -1
         self._previous: Optional[Segmentation] = None
+        self._match_fn = match_fn or match_segments
+        # Reverse index frame → {segment id: track id}, maintained by
+        # _start_track/_extend_track so track_of is a dict lookup instead of
+        # an O(n_tracks) scan over every track's history.
+        self._frame_tracks: Dict[int, Dict[int, int]] = {}
 
     # ------------------------------------------------------------------ ---
     def update(self, segmentation: Segmentation) -> Dict[int, int]:
@@ -183,7 +345,7 @@ class SegmentTracker:
             }
             for prev_segment_id, track in prev_segment_to_track.items():
                 shifts[prev_segment_id] = track.expected_shift()
-            matches = match_segments(
+            matches = self._match_fn(
                 self._previous, segmentation, shifts, self.min_overlap_fraction
             )
             matched_current = set()
@@ -219,6 +381,7 @@ class SegmentTracker:
         )
         self.tracks[track.track_id] = track
         self._active[track.track_id] = track
+        self._frame_tracks.setdefault(frame, {})[segment_id] = track.track_id
         self._next_track_id += 1
         return track.track_id
 
@@ -231,6 +394,7 @@ class SegmentTracker:
         track.missed_frames = 0
         track.centroid_history.append(info.centroid)
         track.segment_history[frame] = segment_id
+        self._frame_tracks.setdefault(frame, {})[segment_id] = track.track_id
 
     # ------------------------------------------------------------------ ---
     @property
@@ -240,10 +404,10 @@ class SegmentTracker:
 
     def track_of(self, frame: int, segment_id: int) -> Optional[int]:
         """Track id of a segment in a given frame, or ``None`` if untracked."""
-        for track in self.tracks.values():
-            if track.segment_history.get(frame) == segment_id:
-                return track.track_id
-        return None
+        frame_tracks = self._frame_tracks.get(frame)
+        if frame_tracks is None:
+            return None
+        return frame_tracks.get(segment_id)
 
     def track_lengths(self) -> Dict[int, int]:
         """Number of frames each track was observed in."""

@@ -34,29 +34,13 @@ except ImportError:  # pragma: no cover
     _HAVE_SCIPY = False
 
 
-class _UnionFind:
-    """Minimal union-find structure over integer ids with path compression."""
-
-    def __init__(self, size: int) -> None:
-        self.parent = np.arange(size, dtype=np.int64)
-
-    def find(self, i: int) -> int:
-        parent = self.parent
-        root = i
-        while parent[root] != root:
-            root = parent[root]
-        # Path compression.
-        while parent[i] != root:
-            parent[i], i = root, parent[i]
-        return root
-
-    def union(self, a: int, b: int) -> None:
-        ra, rb = self.find(a), self.find(b)
-        if ra != rb:
-            if ra < rb:
-                self.parent[rb] = ra
-            else:
-                self.parent[ra] = rb
+def _resolve_roots(parent: np.ndarray) -> np.ndarray:
+    """Fully compress a parent-pointer forest via pointer doubling."""
+    while True:
+        grand = parent[parent]
+        if np.array_equal(grand, parent):
+            return parent
+        parent = grand
 
 
 def _normalise_ids(components: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -77,31 +61,48 @@ def _label_unionfind(labels: np.ndarray, connectivity: int, background: int) -> 
     h, w = labels.shape
     n = h * w
     flat = labels.ravel()
-    uf = _UnionFind(n)
 
-    def _merge_shift(dr: int, dc: int) -> None:
-        """Union each pixel with its (dr, dc)-shifted neighbour when equal."""
+    def _edges_shift(dr: int, dc: int):
+        """Edge arrays between each pixel and its (dr, dc)-shifted neighbour."""
         rows = np.arange(max(0, -dr), h - max(0, dr))
         cols = np.arange(max(0, -dc), w - max(0, dc))
         if rows.size == 0 or cols.size == 0:
-            return
+            return None
         rr, cc = np.meshgrid(rows, cols, indexing="ij")
-        here = rr * w + cc
-        there = (rr + dr) * w + (cc + dc)
+        here = (rr * w + cc).ravel()
+        there = ((rr + dr) * w + (cc + dc)).ravel()
         same = (flat[here] == flat[there]) & (flat[here] != background)
-        for a, b in zip(here[same].ravel(), there[same].ravel()):
-            uf.union(int(a), int(b))
+        if not np.any(same):
+            return None
+        return here[same], there[same]
 
-    _merge_shift(1, 0)
-    _merge_shift(0, 1)
+    shifts = [(1, 0), (0, 1)]
     if connectivity == 8:
-        _merge_shift(1, 1)
-        _merge_shift(1, -1)
+        shifts += [(1, 1), (1, -1)]
+    edge_pairs = [edges for edges in (_edges_shift(dr, dc) for dr, dc in shifts) if edges]
 
-    components = np.zeros(n, dtype=np.int64)
-    foreground = np.nonzero(flat != background)[0]
-    for i in foreground:
-        components[i] = uf.find(int(i)) + 1
+    # Batched union-find: all edges of all shift directions are merged at once
+    # by alternating full path compression (pointer doubling) with a vectorised
+    # "hook the larger root under the smaller" step, instead of one Python-level
+    # union call per edge.  Parent pointers only ever decrease, so the loop
+    # terminates; at exit every edge connects two pixels with equal roots.
+    parent = np.arange(n, dtype=np.int64)
+    if edge_pairs:
+        here = np.concatenate([edges[0] for edges in edge_pairs])
+        there = np.concatenate([edges[1] for edges in edge_pairs])
+        while True:
+            parent = _resolve_roots(parent)
+            root_a = parent[here]
+            root_b = parent[there]
+            low = np.minimum(root_a, root_b)
+            high = np.maximum(root_a, root_b)
+            unresolved = low != high
+            if not np.any(unresolved):
+                break
+            np.minimum.at(parent, high[unresolved], low[unresolved])
+
+    foreground = flat != background
+    components = np.where(foreground, parent + 1, 0)
     return components.reshape(h, w)
 
 
@@ -252,12 +253,29 @@ def component_slices(components: np.ndarray) -> Dict[int, Tuple[slice, slice]]:
             if slc is not None:
                 out[comp_id] = (slc[0], slc[1])
         return out
+    # Fallback without scipy: one pass over the foreground pixel coordinates
+    # with unbuffered min/max scatter reductions, instead of a full-image
+    # ``np.nonzero`` scan per component.
+    width = components.shape[1]
+    foreground = np.nonzero(components.ravel())[0]
+    if foreground.size == 0:
+        return out
+    ids = components.ravel()[foreground]
+    rows = foreground // width
+    cols = foreground % width
+    top = np.full(n + 1, np.iinfo(np.int64).max, dtype=np.int64)
+    left = np.full(n + 1, np.iinfo(np.int64).max, dtype=np.int64)
+    bottom = np.full(n + 1, -1, dtype=np.int64)
+    right = np.full(n + 1, -1, dtype=np.int64)
+    np.minimum.at(top, ids, rows)
+    np.maximum.at(bottom, ids, rows)
+    np.minimum.at(left, ids, cols)
+    np.maximum.at(right, ids, cols)
     for comp_id in range(1, n + 1):
-        rows, cols = np.nonzero(components == comp_id)
-        if rows.size == 0:
+        if bottom[comp_id] < 0:
             continue
         out[comp_id] = (
-            slice(int(rows.min()), int(rows.max()) + 1),
-            slice(int(cols.min()), int(cols.max()) + 1),
+            slice(int(top[comp_id]), int(bottom[comp_id]) + 1),
+            slice(int(left[comp_id]), int(right[comp_id]) + 1),
         )
     return out

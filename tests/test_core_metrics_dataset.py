@@ -4,8 +4,27 @@ import numpy as np
 import pytest
 
 from repro.core.dataset import MetricsDataset
+from repro.core.heatmaps import _reference_dispersion_heatmaps, dispersion_heatmaps
 from repro.core.metrics import METRIC_GROUPS, SegmentMetricsExtractor
+from repro.core.segments import extract_segments
 from repro.evaluation.regression import pearson_correlation
+
+
+def _random_softmax_field(seed: int, n_classes: int):
+    """Seeded random softmax field whose argmax forms chunky segments."""
+    rng = np.random.default_rng(seed)
+    height = int(rng.integers(10, 44))
+    width = int(rng.integers(10, 44))
+    cell = int(rng.integers(2, 7))
+    grid = rng.integers(
+        0, n_classes, size=(height // cell + 1, width // cell + 1)
+    )
+    bias = np.kron(grid, np.ones((cell, cell)))[:height, :width].astype(np.int64)
+    logits = rng.normal(0.0, 1.0, size=(height, width, n_classes))
+    logits[np.arange(height)[:, None], np.arange(width)[None, :], bias] += rng.uniform(1.0, 5.0)
+    probs = np.exp(logits)
+    probs /= probs.sum(axis=2, keepdims=True)
+    return probs
 
 
 class TestSegmentMetricsExtractor:
@@ -87,6 +106,45 @@ class TestSegmentMetricsExtractor:
     def test_invalid_connectivity(self, label_space):
         with pytest.raises(ValueError):
             SegmentMetricsExtractor(label_space=label_space, connectivity=5)
+
+
+class TestFusedExtractionParity:
+    """The fused single-pass extraction is bitwise-identical to the seed path."""
+
+    @pytest.mark.fuzz
+    @pytest.mark.parametrize("seed", range(25))
+    def test_fused_features_bitwise_equal_seed(self, extractor, label_space, seed):
+        probs = _random_softmax_field(seed, label_space.n_classes)
+        prediction = extract_segments(np.argmax(probs, axis=2).astype(np.int64))
+        fused = extractor._compute_features(probs, prediction)
+        reference = extractor._reference_compute_features(probs, prediction)
+        assert fused.shape == reference.shape
+        mismatch = np.nonzero(fused != reference)
+        assert np.array_equal(fused, reference), (
+            f"seed={seed}: {mismatch[0].size} mismatching entries, first at "
+            f"row {mismatch[0][:1]}, column {mismatch[1][:1]}"
+        )
+
+    def test_fused_parity_on_network_field(self, extractor, probability_field):
+        """Parity also holds on the simulated network's softmax output."""
+        prediction = extract_segments(
+            np.argmax(probability_field, axis=2).astype(np.int64)
+        )
+        probs = np.asarray(probability_field, dtype=np.float64)
+        assert np.array_equal(
+            extractor._compute_features(probs, prediction),
+            extractor._reference_compute_features(probs, prediction),
+        )
+
+    @pytest.mark.fuzz
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fused_heatmaps_bitwise_equal_seed(self, seed):
+        probs = _random_softmax_field(1000 + seed, 7)
+        fused = dispersion_heatmaps(probs)
+        reference = _reference_dispersion_heatmaps(probs)
+        assert set(fused) == set(reference)
+        for key in reference:
+            assert np.array_equal(fused[key], reference[key]), f"seed={seed} map={key}"
 
 
 class TestMetricsDataset:
