@@ -9,6 +9,10 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${REPO_ROOT}"
 export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:$PYTHONPATH}"
 
+# One scratch root for every stage that needs disk; a single trap cleans up.
+TMP_ROOT="$(mktemp -d)"
+trap 'rm -rf "${TMP_ROOT}"' EXIT
+
 echo "=== tier-1 test suite ==="
 python -m pytest -x -q
 
@@ -41,13 +45,29 @@ python -m repro list
 python -m repro run examples/configs/metaseg_small.json
 python -m repro run examples/configs/metaseg_sharded.json
 
+echo "=== disk-backed I/O (committed fixture smoke) ==="
+python -m repro run examples/configs/metaseg_disk.json
+
+echo "=== disk-backed I/O (generated fixture + process backend + store cache) ==="
+DISK_ROOT="${TMP_ROOT}/disk-fixture"
+DISK_CACHE="${TMP_ROOT}/disk-cache"
+python scripts/make_disk_fixture.py --root "${DISK_ROOT}" \
+    --emit-config "${DISK_ROOT}/metaseg_disk.json"
+python -m repro run "${DISK_ROOT}/metaseg_disk.json" \
+    --backend process --workers 2 --cache-dir "${DISK_CACHE}"
+python -m repro run "${DISK_ROOT}/metaseg_disk.json" \
+    --backend process --workers 2 --cache-dir "${DISK_CACHE}" \
+    | tee "${TMP_ROOT}/disk_second_run.txt"
+grep -q "cache: hit" "${TMP_ROOT}/disk_second_run.txt" \
+    || { echo "FAIL: second disk-backed run was not served from cache" >&2; exit 1; }
+
 echo "=== sweep-cache benchmark (smoke: warm >= 5x cold + bitwise parity) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
     python benchmarks/bench_sweep_cache.py --smoke
 
 echo "=== sweep CLI (smoke: second identical sweep served from cache) ==="
-SWEEP_CACHE_DIR="$(mktemp -d)"
-trap 'rm -rf "${SWEEP_CACHE_DIR}"' EXIT
+SWEEP_CACHE_DIR="${TMP_ROOT}/sweep-cache"
+mkdir -p "${SWEEP_CACHE_DIR}"
 REPRO_CACHE_DIR="${SWEEP_CACHE_DIR}" \
     python -m repro sweep examples/configs/sweep_metaseg.json
 REPRO_CACHE_DIR="${SWEEP_CACHE_DIR}" \

@@ -61,10 +61,14 @@ class DataConfig:
     ``dataset`` names an entry of the ``datasets`` registry.  The single-frame
     fields (``n_train``/``n_val``) apply to Cityscapes-like substrates, the
     sequence fields (``n_sequences``/``n_frames``/``labeled_stride``) to
-    KITTI-like video substrates; builders read the fields they need.
+    KITTI-like video substrates; builders read the fields they need.  ``root``
+    points an on-disk substrate (``cityscapes_disk``) at its dataset
+    directory; synthetic builders ignore it, and the size fields are ignored
+    by disk builders (the files dictate the sizes).
     """
 
     dataset: str = "cityscapes_like"
+    root: str = ""
     n_train: int = 0
     n_val: int = 12
     height: int = 96
@@ -74,6 +78,8 @@ class DataConfig:
     labeled_stride: int = 2
 
     def validate(self) -> None:
+        if not isinstance(self.root, str):
+            raise ConfigError(f"data: root must be a path string, got {self.root!r}")
         if self.n_train < 0 or self.n_val < 0:
             raise ConfigError("data: split sizes (n_train/n_val) must be non-negative")
         if self.height < 32 or self.width < 64:
@@ -91,18 +97,29 @@ class NetworkConfig:
     ``profile`` and ``reference_profile`` name entries of the ``networks``
     registry; the reference profile is only used by the time-dynamic kind
     (pseudo ground truth).  ``overrides`` are forwarded to
-    :meth:`NetworkProfile.with_overrides` for ablations.
+    :meth:`NetworkProfile.with_overrides` for ablations (simulated profiles
+    only).  ``dump_root``/``mmap`` configure the ``softmax_dump`` adapter
+    serving precomputed probability fields from disk; simulated profiles
+    ignore both.
     """
 
     profile: str = "mobilenetv2"
     reference_profile: str = "xception65"
     overrides: Dict[str, object] = field(default_factory=dict)
+    dump_root: str = ""
+    mmap: bool = True
 
     def validate(self) -> None:
         if not self.profile:
             raise ConfigError("network: profile name must be non-empty")
         if not isinstance(self.overrides, dict):
             raise ConfigError("network: overrides must be a dict")
+        if not isinstance(self.dump_root, str):
+            raise ConfigError(
+                f"network: dump_root must be a path string, got {self.dump_root!r}"
+            )
+        if not isinstance(self.mmap, bool):
+            raise ConfigError(f"network: mmap must be a boolean, got {self.mmap!r}")
 
 
 @dataclass

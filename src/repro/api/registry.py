@@ -135,7 +135,12 @@ class Registry:
 # --------------------------------------------------------------------------
 # The library's registries.  Entry contracts:
 #
-# * NETWORK_PROFILES   — zero-argument factories returning a NetworkProfile;
+# * NETWORK_PROFILES   — zero-argument factories returning a NetworkProfile
+#                        (wrapped in a simulated network by the Runner), or —
+#                        when the factory carries ``builds_network = True`` —
+#                        adapter factories ``(network: NetworkConfig, seed:
+#                        int) -> network`` returning a ready network object
+#                        (e.g. the disk-backed softmax_dump adapter);
 # * DATASETS           — builders ``(data: DataConfig, seed: int) -> dataset``;
 # * METRIC_GROUPS      — tuples of feature names (or None for "all features");
 # * META_CLASSIFIERS   — factories ``(**kwargs) -> MetaClassifier`` with the
@@ -212,6 +217,8 @@ def _load_builtins() -> None:
         import repro.core.meta_regression  # noqa: F401
         import repro.core.metrics  # noqa: F401
         import repro.decision.rules  # noqa: F401
+        import repro.io.cityscapes  # noqa: F401
+        import repro.io.softmax  # noqa: F401
         import repro.segmentation.datasets  # noqa: F401
         import repro.segmentation.network  # noqa: F401
     except BaseException as exc:

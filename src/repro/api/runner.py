@@ -178,7 +178,9 @@ class ResolvedExperiment:
     """All registry entries of a config resolved into live components.
 
     ``dataset`` is the built substrate, ``network`` (and, for the
-    time-dynamic kind, ``reference_network``) the simulated networks, and
+    time-dynamic kind, ``reference_network``) the networks — simulated ones
+    for ordinary profiles, ready adapter objects (e.g. the disk-backed
+    ``softmax_dump``) for registry entries marked ``builds_network`` — and
     ``feature_subset`` the resolved metric-group column list (``None`` for
     all features).  ``classifiers``/``regressors``/``rules`` echo the
     validated registry names.
@@ -187,7 +189,7 @@ class ResolvedExperiment:
     config: ExperimentConfig
     seeds: DerivedSeeds
     dataset: object
-    network: SimulatedSegmentationNetwork
+    network: object
     reference_network: Optional[SimulatedSegmentationNetwork]
     feature_subset: Optional[List[str]]
     classifiers: List[str]
@@ -283,18 +285,48 @@ class Runner:
         seeds = derived_seeds(config.seed)
         # Backend first: it is the cheapest lookup and gates everything else.
         EXECUTION_BACKENDS.get(config.execution.backend)
-        profile = NETWORK_PROFILES.get(config.network.profile)()
-        if config.network.overrides:
-            profile = profile.with_overrides(**config.network.overrides)
-        network = SimulatedSegmentationNetwork(profile, random_state=seeds.network)
+        # A registry entry marked ``builds_network`` is an adapter factory:
+        # called with the network section and the seed, it returns a ready
+        # network (e.g. softmax_dump serving precomputed fields from disk)
+        # instead of a NetworkProfile to wrap in the simulated network.
+        factory = NETWORK_PROFILES.get(config.network.profile)
+        if getattr(factory, "builds_network", False):
+            if config.network.overrides:
+                raise ValueError(
+                    f"network: profile {config.network.profile!r} serves "
+                    f"precomputed outputs; profile overrides only apply to "
+                    f"simulated profiles"
+                )
+            if config.kind == "timedynamic":
+                raise ValueError(
+                    f"network: profile {config.network.profile!r} serves "
+                    f"single validation frames and cannot drive the "
+                    f"time-dynamic kind (video sequences)"
+                )
+            network = factory(config.network, seeds.network)
+        else:
+            profile = factory()
+            if config.network.overrides:
+                profile = profile.with_overrides(**config.network.overrides)
+            network = SimulatedSegmentationNetwork(profile, random_state=seeds.network)
         reference_network = None
         if config.kind == "timedynamic":
-            reference_profile = NETWORK_PROFILES.get(config.network.reference_profile)()
+            reference_factory = NETWORK_PROFILES.get(config.network.reference_profile)
+            if getattr(reference_factory, "builds_network", False):
+                raise ValueError(
+                    f"network: reference_profile {config.network.reference_profile!r} "
+                    f"must be a simulated profile (it generates pseudo ground truth)"
+                )
             reference_network = SimulatedSegmentationNetwork(
-                reference_profile, random_state=seeds.reference_network
+                reference_factory(), random_state=seeds.reference_network
             )
         dataset = DATASETS.get(config.data.dataset)(config.data, seeds.data)
         self._check_dataset_kind(config, dataset)
+        # Adapter networks can cross-check the substrate they will be walked
+        # against (frame/dump mismatch fails here, not mid-extraction).
+        check_dataset = getattr(network, "check_dataset", None)
+        if check_dataset is not None:
+            check_dataset(dataset)
         group = METRIC_GROUPS.get(config.meta_models.feature_group)
         feature_subset = None if group is None else list(group)
         if config.kind == "timedynamic":

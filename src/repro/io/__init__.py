@@ -1,0 +1,33 @@
+"""Real-data I/O layer: on-disk datasets and precomputed-network adapters.
+
+Everything in this package reads files instead of generating scenes:
+
+* :mod:`repro.io.png` — dependency-free 8-bit grayscale PNG codec;
+* :mod:`repro.io.cityscapes` — the ``cityscapes_disk`` dataset substrate
+  walking a Cityscapes-layout tree lazily;
+* :mod:`repro.io.softmax` — the ``softmax_dump`` network adapter serving
+  per-frame probability fields from ``.npy``/``.npz`` dumps via memmap;
+* :mod:`repro.io.fixture` — deterministic fixture generator writing a tiny
+  tree from the synthetic stack (tests/CI need no download).
+
+Importing the substrate modules registers their builders with the
+``datasets`` / ``networks`` registries (the registry's lazy built-in loader
+imports them on first lookup, like every other built-in).
+"""
+
+from repro.io.cityscapes import CityscapesDiskDataset, discover_frames, raw_to_train_lut
+from repro.io.fixture import disk_config_payload, write_disk_fixture
+from repro.io.png import PngError, read_png_gray8, write_png_gray8
+from repro.io.softmax import SoftmaxDumpNetwork
+
+__all__ = [
+    "CityscapesDiskDataset",
+    "SoftmaxDumpNetwork",
+    "PngError",
+    "read_png_gray8",
+    "write_png_gray8",
+    "discover_frames",
+    "raw_to_train_lut",
+    "write_disk_fixture",
+    "disk_config_payload",
+]

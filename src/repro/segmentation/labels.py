@@ -30,28 +30,34 @@ class LabelSpec:
     Only used by the synthetic scene generator to size objects plausibly; it
     has no influence on the MetaSeg algorithms themselves.
     """
+    raw_id: int = -1
+    """Raw label id of the class in on-disk Cityscapes ``gtFine`` annotation
+    files (``*_gtFine_labelIds.png``).  Raw ids are the stable file format;
+    the consecutive ``train_id`` values are the in-memory representation, so
+    disk readers remap raw → train through :meth:`LabelSpace.raw_id_map`.
+    ``-1`` marks a class without a raw-file id (synthetic-only spaces)."""
 
 
 _CITYSCAPES_SPECS: List[LabelSpec] = [
-    LabelSpec(0, "road", "flat", (128, 64, 128), False, 0.30),
-    LabelSpec(1, "sidewalk", "flat", (244, 35, 232), False, 0.08),
-    LabelSpec(2, "building", "construction", (70, 70, 70), False, 0.20),
-    LabelSpec(3, "wall", "construction", (102, 102, 156), False, 0.02),
-    LabelSpec(4, "fence", "construction", (190, 153, 153), False, 0.02),
-    LabelSpec(5, "pole", "object", (153, 153, 153), True, 0.002),
-    LabelSpec(6, "traffic light", "object", (250, 170, 30), True, 0.001),
-    LabelSpec(7, "traffic sign", "object", (220, 220, 0), True, 0.0015),
-    LabelSpec(8, "vegetation", "nature", (107, 142, 35), False, 0.10),
-    LabelSpec(9, "terrain", "nature", (152, 251, 152), False, 0.03),
-    LabelSpec(10, "sky", "sky", (70, 130, 180), False, 0.15),
-    LabelSpec(11, "person", "human", (220, 20, 60), True, 0.004),
-    LabelSpec(12, "rider", "human", (255, 0, 0), True, 0.003),
-    LabelSpec(13, "car", "vehicle", (0, 0, 142), True, 0.02),
-    LabelSpec(14, "truck", "vehicle", (0, 0, 70), True, 0.03),
-    LabelSpec(15, "bus", "vehicle", (0, 60, 100), True, 0.035),
-    LabelSpec(16, "train", "vehicle", (0, 80, 100), True, 0.04),
-    LabelSpec(17, "motorcycle", "vehicle", (0, 0, 230), True, 0.003),
-    LabelSpec(18, "bicycle", "vehicle", (119, 11, 32), True, 0.003),
+    LabelSpec(0, "road", "flat", (128, 64, 128), False, 0.30, raw_id=7),
+    LabelSpec(1, "sidewalk", "flat", (244, 35, 232), False, 0.08, raw_id=8),
+    LabelSpec(2, "building", "construction", (70, 70, 70), False, 0.20, raw_id=11),
+    LabelSpec(3, "wall", "construction", (102, 102, 156), False, 0.02, raw_id=12),
+    LabelSpec(4, "fence", "construction", (190, 153, 153), False, 0.02, raw_id=13),
+    LabelSpec(5, "pole", "object", (153, 153, 153), True, 0.002, raw_id=17),
+    LabelSpec(6, "traffic light", "object", (250, 170, 30), True, 0.001, raw_id=19),
+    LabelSpec(7, "traffic sign", "object", (220, 220, 0), True, 0.0015, raw_id=20),
+    LabelSpec(8, "vegetation", "nature", (107, 142, 35), False, 0.10, raw_id=21),
+    LabelSpec(9, "terrain", "nature", (152, 251, 152), False, 0.03, raw_id=22),
+    LabelSpec(10, "sky", "sky", (70, 130, 180), False, 0.15, raw_id=23),
+    LabelSpec(11, "person", "human", (220, 20, 60), True, 0.004, raw_id=24),
+    LabelSpec(12, "rider", "human", (255, 0, 0), True, 0.003, raw_id=25),
+    LabelSpec(13, "car", "vehicle", (0, 0, 142), True, 0.02, raw_id=26),
+    LabelSpec(14, "truck", "vehicle", (0, 0, 70), True, 0.03, raw_id=27),
+    LabelSpec(15, "bus", "vehicle", (0, 60, 100), True, 0.035, raw_id=28),
+    LabelSpec(16, "train", "vehicle", (0, 80, 100), True, 0.04, raw_id=31),
+    LabelSpec(17, "motorcycle", "vehicle", (0, 0, 230), True, 0.003, raw_id=32),
+    LabelSpec(18, "bicycle", "vehicle", (119, 11, 32), True, 0.003, raw_id=33),
 ]
 
 #: Category name used throughout Section IV of the paper ("class human").
@@ -142,6 +148,44 @@ class LabelSpace:
     def color_map(self) -> Dict[int, Tuple[int, int, int]]:
         """Mapping train id → RGB colour (for PPM visualisations)."""
         return {spec.train_id: spec.color for spec in self.specs}
+
+    # -- raw (on-disk) id mapping ------------------------------------------
+    def raw_id_map(self) -> Dict[int, int]:
+        """Mapping raw (on-disk) label id → train id.
+
+        Raw ids not present in the mapping — "unlabeled", "ego vehicle",
+        "license plate", every other Cityscapes void class — decode to the
+        ignore id :data:`IGNORE_ID`; disk readers apply exactly this rule.
+        Classes without a raw id (``raw_id == -1``) are skipped, so a
+        synthetic-only label space yields an empty map.
+        """
+        mapping: Dict[int, int] = {}
+        for spec in self.specs:
+            if spec.raw_id < 0:
+                continue
+            if spec.raw_id in mapping:
+                raise ValueError(
+                    f"raw id {spec.raw_id} is claimed by two classes "
+                    f"({self.specs[mapping[spec.raw_id]].name!r} and {spec.name!r})"
+                )
+            mapping[spec.raw_id] = spec.train_id
+        return mapping
+
+    def train_id_to_raw(self, train_id: int) -> int:
+        """Raw (on-disk) label id of a train id; ignore encodes as raw 0.
+
+        Raw id 0 is the Cityscapes "unlabeled" class, which :meth:`raw_id_map`
+        decodes back to :data:`IGNORE_ID` — so a label map round-trips
+        through the disk encoding bit-exactly.
+        """
+        if train_id == IGNORE_ID:
+            return 0
+        raw = self.specs[train_id].raw_id
+        if raw < 0:
+            raise ValueError(
+                f"class {self.specs[train_id].name!r} has no raw (on-disk) label id"
+            )
+        return raw
 
     def confusable_classes(self, train_id: int) -> List[int]:
         """Classes a segmentation network plausibly confuses with *train_id*.

@@ -37,7 +37,9 @@ from repro.version import __version__
 
 #: Revision of the cached payload layout.  Bump when the meaning or encoding
 #: of stored payloads changes without a library version bump.
-CACHE_FORMAT = 1
+#: Revision 2: stage-1 shard keys gained the network ``dump_root`` field
+#: (disk-served softmax dumps determine the extracted payload).
+CACHE_FORMAT = 2
 
 
 def version_salt() -> str:
@@ -109,6 +111,9 @@ def stage1_payload(config_dict: Dict[str, object]) -> Dict[str, object]:
         "network": {
             "profile": network["profile"],
             "overrides": network["overrides"],
+            # Which dump tree a disk-served profile reads determines the
+            # numbers; the mmap flag does not (bit-neutral access mode).
+            "dump_root": network.get("dump_root", ""),
         },
     }
     if kind == "metaseg":

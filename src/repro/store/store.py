@@ -26,6 +26,12 @@ Durability and correctness guarantees:
 * **Concurrent use** — there is no global index file to contend on; two
   processes racing to publish the same key both write equal payloads and the
   last rename wins.
+* **LRU lifecycle** — every hit stamps ``last_access_unix`` into the sidecar
+  (best-effort, atomically), and :meth:`ResultStore.prune` evicts by that
+  recency (creation time for never-read entries), so hot entries survive;
+  :meth:`ResultStore.evict` removes the payload before the sidecar and only
+  reports success when the entry is fully gone — a partial deletion leaves a
+  visible, retryable entry rather than an invisible orphan payload.
 
 Payload codecs: ``"json"`` for plain-dict payloads (experiment reports) and
 ``"pickle"`` for the numpy-laden stage-1 shard payloads (which already cross
@@ -205,10 +211,30 @@ class ResultStore:
             return None
         _, decode = self.CODECS[codec]
         try:
-            return decode(data)
+            value = decode(data)
         except Exception:
             self.evict(key)
             return None
+        self._touch(key, meta)
+        return value
+
+    def _touch(self, key: str, meta: Dict[str, object]) -> None:
+        """Best-effort last-access stamp on a hit (the LRU input of prune).
+
+        Rewrites the sidecar atomically with ``last_access_unix`` set; any
+        failure (read-only cache dir, disk full) is swallowed — a hit must
+        never fail because bookkeeping could not be written, the entry just
+        keeps its previous access time.
+        """
+        meta = dict(meta)
+        meta["last_access_unix"] = time.time()
+        try:
+            _atomic_write_bytes(
+                self._meta_path(key),
+                (json.dumps(meta, sort_keys=True, indent=2) + "\n").encode("ascii"),
+            )
+        except OSError:
+            pass
 
     def __contains__(self, key: str) -> bool:
         self._check_key(key)
@@ -216,16 +242,26 @@ class ResultStore:
 
     # ------------------------------------------------------------- management
     def evict(self, key: str) -> bool:
-        """Remove one entry; returns whether anything was deleted."""
+        """Remove one entry; ``True`` only when it is fully removed.
+
+        The payload is unlinked *before* the sidecar: the sidecar is the
+        entry's commit marker, so a deletion that fails part-way leaves a
+        still-visible entry (retryable via :meth:`entries` / :meth:`get`
+        self-healing) instead of an orphan payload no index operation can
+        see.  Any unlink failure other than the file already being gone
+        aborts the eviction and returns ``False``.
+        """
         self._check_key(key)
-        removed = False
-        for path in (self._meta_path(key), self._payload_path(key)):
+        existed = False
+        for path in (self._payload_path(key), self._meta_path(key)):
             try:
                 path.unlink()
-                removed = True
-            except OSError:
+                existed = True
+            except FileNotFoundError:
                 pass
-        return removed
+            except OSError:
+                return False
+        return existed
 
     def clear(self) -> int:
         """Remove every entry; returns the number of complete entries removed.
@@ -265,15 +301,22 @@ class ResultStore:
         }
 
     def prune(self, max_entries: int) -> int:
-        """Keep only the *max_entries* most recently created entries.
+        """Keep only the *max_entries* most recently *used* entries (LRU).
 
-        Returns the number of entries evicted (oldest first).
+        Recency is the ``last_access_unix`` stamp :meth:`get` records on
+        every hit, falling back to ``created_unix`` for never-read entries
+        (with creation time as the tie-break), so a hot entry survives even
+        when it is old.  Returns the number of entries evicted.
         """
         if max_entries < 0:
             raise StoreError(f"max_entries must be >= 0, got {max_entries}")
-        entries = sorted(
-            self.entries(), key=lambda meta: float(meta.get("created_unix", 0.0))
-        )
+
+        def recency(meta: Dict[str, object]):
+            created = float(meta.get("created_unix", 0.0))
+            accessed = meta.get("last_access_unix")
+            return (float(accessed) if accessed is not None else created, created)
+
+        entries = sorted(self.entries(), key=recency)
         removed = 0
         for meta in entries[: max(0, len(entries) - max_entries)]:
             if self.evict(str(meta["key"])):

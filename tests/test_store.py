@@ -9,7 +9,10 @@ bitwise identical to freshly computed ones, for all three experiment kinds.
 """
 
 import copy
+import itertools
 import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -320,6 +323,156 @@ class TestResultStore:
         key = report_key({"codec": "mismatch"})
         store.put(key, {"x": 1}, codec="json")
         assert store.get(key, codec="pickle") is None
+
+
+# ------------------------------------------------------- eviction lifecycle
+
+
+class TestEvictLifecycle:
+    """evict() must never leave an orphan payload invisible to the index.
+
+    Regression tests for the partial-delete bug: the sidecar used to be
+    unlinked *before* the payload and evict() returned True if *any* file
+    was removed — so a payload unlink failure left bytes on disk that no
+    entries()/prune()/evict() call could ever see again.
+    """
+
+    def _entry(self, store):
+        key = report_key({"evict": "lifecycle"})
+        store.put(key, {"rows": list(range(10))})
+        return key
+
+    def test_payload_unlink_failure_keeps_entry_visible(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        key = self._entry(store)
+        real_unlink = Path.unlink
+
+        def failing_unlink(self, *args, **kwargs):
+            if self.name.endswith(".payload"):
+                raise PermissionError(f"unlink blocked: {self}")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", failing_unlink)
+        assert store.evict(key) is False
+        monkeypatch.undo()
+        # Both files survive: the entry is still indexed and retryable.
+        assert key in store
+        assert [meta["key"] for meta in store.entries()] == [key]
+        assert store.get(key) == {"rows": list(range(10))}
+        assert store.evict(key) is True
+        assert store.entries() == []
+
+    def test_sidecar_unlink_failure_returns_false_but_entry_self_heals(
+        self, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path)
+        key = self._entry(store)
+        real_unlink = Path.unlink
+
+        def failing_unlink(self, *args, **kwargs):
+            if self.name.endswith(".meta.json"):
+                raise PermissionError(f"unlink blocked: {self}")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", failing_unlink)
+        assert store.evict(key) is False
+        monkeypatch.undo()
+        # Payload gone, sidecar left: still visible to the index, and the
+        # next get() treats it as a miss and finishes the eviction.
+        assert [meta["key"] for meta in store.entries()] == [key]
+        assert store.get(key) is None
+        assert store.entries() == []
+
+    def test_missing_payload_still_fully_evicts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = self._entry(store)
+        store._payload_path(key).unlink()
+        assert store.evict(key) is True
+        assert not store._meta_path(key).exists()
+        assert store.evict(key) is False
+
+    @pytest.mark.skipif(
+        os.geteuid() == 0, reason="root bypasses directory write permissions"
+    )
+    def test_read_only_objects_dir(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = self._entry(store)
+        bucket = store._payload_path(key).parent
+        bucket.chmod(0o555)
+        try:
+            assert store.evict(key) is False
+            assert key in store
+        finally:
+            bucket.chmod(0o755)
+        assert store.evict(key) is True
+
+
+# ------------------------------------------------------------- LRU pruning
+
+
+class TestPruneLRU:
+    """prune() evicts by recency of *use*, not order of creation.
+
+    Regression tests for the FIFO-masquerading-as-LRU bug: get() never
+    recorded an access, and prune() sorted by created_unix — so the hottest
+    entries (the oldest, most re-used ones) were evicted first.
+    """
+
+    @pytest.fixture
+    def clock(self, monkeypatch):
+        from repro.store import store as store_module
+
+        ticks = itertools.count(start=1_000.0, step=1.0)
+        monkeypatch.setattr(store_module.time, "time", lambda: next(ticks))
+
+    def test_hit_stamps_last_access_atomically(self, tmp_path, clock):
+        store = ResultStore(tmp_path)
+        key = report_key({"lru": "stamp"})
+        store.put(key, {"x": 1})
+        (entry,) = store.entries()
+        assert "last_access_unix" not in entry
+        assert store.get(key) == {"x": 1}
+        (entry,) = store.entries()
+        assert entry["last_access_unix"] > entry["created_unix"]
+        # Monotonic: a later hit moves the stamp forward.
+        first_access = entry["last_access_unix"]
+        store.get(key)
+        (entry,) = store.entries()
+        assert entry["last_access_unix"] > first_access
+
+    def test_prune_keeps_hot_old_entry(self, tmp_path, clock):
+        store = ResultStore(tmp_path)
+        keys = [report_key({"n": n}) for n in range(3)]
+        for n, key in enumerate(keys):
+            store.put(key, {"n": n})
+        # The *oldest* entry is the hottest: re-read after the others exist.
+        assert store.get(keys[0]) == {"n": 0}
+        assert store.prune(max_entries=2) == 1
+        kept = {meta["key"] for meta in store.entries()}
+        # FIFO would have evicted keys[0]; LRU evicts the never-read keys[1].
+        assert kept == {keys[0], keys[2]}
+
+    def test_prune_tie_breaks_on_creation_for_unread_entries(self, tmp_path, clock):
+        store = ResultStore(tmp_path)
+        keys = [report_key({"n": n}) for n in range(3)]
+        for n, key in enumerate(keys):
+            store.put(key, {"n": n})
+        assert store.prune(max_entries=1) == 2
+        assert [meta["key"] for meta in store.entries()] == [keys[2]]
+
+    def test_touch_failure_never_breaks_a_hit(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        key = report_key({"lru": "best-effort"})
+        store.put(key, {"x": 2})
+        from repro.store import store as store_module
+
+        def failing_write(path, data):
+            raise OSError("read-only cache")
+
+        monkeypatch.setattr(store_module, "_atomic_write_bytes", failing_write)
+        assert store.get(key) == {"x": 2}
+        (entry,) = store.entries()
+        assert "last_access_unix" not in entry
 
 
 # ------------------------------------------------------- runner memoisation
