@@ -1,0 +1,237 @@
+"""Benchmark — online scoring service latency and throughput.
+
+Fits the serving meta-model once on the committed disk fixture
+(``tests/fixtures/disk``), starts an in-process :class:`ScoringServer`, and
+measures end-to-end HTTP request latency (parse + extract + score + respond)
+for single-frame npy requests, plus sustained throughput under concurrent
+clients.  Bitwise parity of every server response against the batch
+``Runner.score`` reference is asserted before anything is timed — a fast but
+wrong server scores zero.
+
+Gates (full mode, enforced by the exit code): p50 latency < 1 s, p99 < 5 s,
+concurrent throughput > 1 frame/s on the 32x64x19 fixture frames.
+
+Invocation:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full + gate
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from _bench_common import write_artifact, write_bench_json, write_trajectory_json
+
+from repro.api.config import ExperimentConfig
+from repro.api.runner import Runner
+from repro.serve import ScoringServer, ScoringService, score_frame, wait_until_ready
+
+FIXTURE_ROOT = Path(__file__).resolve().parent.parent / "tests" / "fixtures" / "disk"
+
+#: Latency/throughput gates (generous: correctness is gated bitwise, these
+#: only catch pathological regressions like a cold extractor per request).
+GATE_P50_SECONDS = 1.0
+GATE_P99_SECONDS = 5.0
+GATE_FRAMES_PER_SECOND = 1.0
+
+
+def fixture_config() -> dict:
+    return {
+        "kind": "metaseg",
+        "name": "bench-serve",
+        "seed": 7,
+        "data": {"dataset": "cityscapes_disk", "root": str(FIXTURE_ROOT)},
+        "network": {
+            "profile": "softmax_dump",
+            "dump_root": str(FIXTURE_ROOT / "softmax"),
+            "mmap": True,
+        },
+        "meta_models": {"classifiers": ["logistic"], "regressors": ["linear"]},
+        "evaluation": {"n_runs": 2, "train_fraction": 0.8},
+    }
+
+
+def load_frames(runner: Runner) -> List[Tuple[str, np.ndarray]]:
+    """The fixture's validation softmax fields as (image_id, probs) pairs."""
+    config = ExperimentConfig.from_dict(fixture_config())
+    config.validate()
+    resolved = runner.resolve(config)
+    frames = []
+    for index, sample in enumerate(resolved.dataset.val_samples()):
+        probs = resolved.network.predict_probabilities(sample.labels, index=index)
+        frames.append((sample.image_id, np.array(probs)))
+    return frames
+
+
+def percentile_nearest_rank(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile on an ascending-sorted list."""
+    rank = max(1, int(np.ceil(q / 100.0 * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def assert_parity(
+    url: str, frames: List[Tuple[str, np.ndarray]], reference: Dict[str, object]
+) -> None:
+    for (image_id, probs), expected in zip(frames, reference["frames"]):
+        scored = score_frame(url, probs, image_id=image_id)
+        if json.dumps(scored, sort_keys=True) != json.dumps(expected, sort_keys=True):
+            raise AssertionError(
+                f"server response for {image_id!r} diverges from Runner.score"
+            )
+
+
+def sequential_latency(
+    url: str, frames: List[Tuple[str, np.ndarray]], n_requests: int, warmup: int
+) -> List[float]:
+    """Per-request wall seconds, cycling through the fixture frames."""
+    for i in range(warmup):
+        image_id, probs = frames[i % len(frames)]
+        score_frame(url, probs, image_id=image_id)
+    latencies = []
+    for i in range(n_requests):
+        image_id, probs = frames[i % len(frames)]
+        start = time.perf_counter()
+        score_frame(url, probs, image_id=image_id)
+        latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def concurrent_throughput(
+    url: str, frames: List[Tuple[str, np.ndarray]], n_clients: int, per_client: int
+) -> float:
+    """Frames/second with ``n_clients`` threads posting concurrently."""
+    errors: List[Exception] = []
+
+    def client(slot: int) -> None:
+        try:
+            for i in range(per_client):
+                image_id, probs = frames[(slot + i) % len(frames)]
+                score_frame(url, probs, image_id=image_id)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(n_clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"concurrent client failed: {errors[0]}")
+    return (n_clients * per_client) / elapsed
+
+
+def run(smoke: bool = False) -> dict:
+    runner = Runner()
+    fit_start = time.perf_counter()
+    model = runner.fit(fixture_config())
+    fit_seconds = time.perf_counter() - fit_start
+    reference = runner.score(fixture_config(), model=model)
+    frames = load_frames(runner)
+
+    n_requests = 20 if smoke else 200
+    warmup = 2 if smoke else 5
+    n_clients = 2 if smoke else 4
+    per_client = 10 if smoke else 50
+
+    server = ScoringServer(ScoringService(model), port=0, workers=4, queue_depth=32)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        wait_until_ready(server.url)
+        assert_parity(server.url, frames, reference)
+        latencies = sorted(
+            sequential_latency(server.url, frames, n_requests, warmup)
+        )
+        fps = concurrent_throughput(server.url, frames, n_clients, per_client)
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=5)
+
+    height, width, n_classes = frames[0][1].shape
+    result = {
+        "case": f"{height}x{width}x{n_classes}",
+        "n_frames": len(frames),
+        "fit_seconds": fit_seconds,
+        "n_requests": n_requests,
+        "p50_seconds": percentile_nearest_rank(latencies, 50),
+        "p99_seconds": percentile_nearest_rank(latencies, 99),
+        "mean_seconds": float(np.mean(latencies)),
+        "n_clients": n_clients,
+        "requests_per_client": per_client,
+        "frames_per_second": fps,
+        "parity": "bitwise",
+    }
+    rows = [
+        "online scoring service: end-to-end HTTP latency on the disk fixture",
+        f"  {result['case']:<12s} fit once {fit_seconds * 1e3:8.1f} ms   "
+        f"p50 {result['p50_seconds'] * 1e3:7.2f} ms  "
+        f"p99 {result['p99_seconds'] * 1e3:7.2f} ms  "
+        f"({n_requests} sequential requests)",
+        f"  {'':<12s} {n_clients} clients x {per_client} frames  "
+        f"throughput {fps:8.1f} frames/s   parity: bitwise vs Runner.score",
+    ]
+    write_artifact("serve", rows)
+    payload = {"mode": "smoke" if smoke else "full", "cases": [result]}
+    write_bench_json("serve", payload)
+    if not smoke:
+        write_trajectory_json("serve", payload)
+    return payload
+
+
+def test_serve_latency():
+    """Smoke-mode pytest entry: parity plus the (generous) latency gates."""
+    payload = run(smoke=True)
+    (result,) = payload["cases"]
+    assert result["p50_seconds"] < GATE_P50_SECONDS
+    assert result["p99_seconds"] < GATE_P99_SECONDS
+    assert result["frames_per_second"] > GATE_FRAMES_PER_SECOND
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer requests/clients for CI (same parity and latency gates)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    (result,) = payload["cases"]
+    failed = False
+    if result["p50_seconds"] >= GATE_P50_SECONDS:
+        print(
+            f"WARNING: p50 {result['p50_seconds']:.3f}s over the "
+            f"{GATE_P50_SECONDS:.1f}s gate",
+            file=sys.stderr,
+        )
+        failed = True
+    if result["p99_seconds"] >= GATE_P99_SECONDS:
+        print(
+            f"WARNING: p99 {result['p99_seconds']:.3f}s over the "
+            f"{GATE_P99_SECONDS:.1f}s gate",
+            file=sys.stderr,
+        )
+        failed = True
+    if result["frames_per_second"] <= GATE_FRAMES_PER_SECOND:
+        print(
+            f"WARNING: throughput {result['frames_per_second']:.1f} frames/s "
+            f"under the {GATE_FRAMES_PER_SECOND:.0f}/s gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

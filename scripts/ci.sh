@@ -76,4 +76,18 @@ REPRO_CACHE_DIR="${SWEEP_CACHE_DIR}" \
 grep -q "cache hits: 2/2" "${SWEEP_CACHE_DIR}/second_run.txt" \
     || { echo "FAIL: second sweep run was not served from cache" >&2; exit 1; }
 
+echo "=== scoring-server benchmark (smoke: bitwise parity + latency gates) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_serve.py --smoke
+
+echo "=== scoring server (smoke: subprocess serve, bitwise parity vs batch) ==="
+SERVE_CACHE="${TMP_ROOT}/serve-cache"
+python scripts/serve_smoke.py --cache-dir "${SERVE_CACHE}"
+
+echo "=== cache prune CLI (smoke: LRU bound on the serve-smoke store) ==="
+python -m repro cache prune --cache-dir "${SERVE_CACHE}" --max-entries 1 \
+    | tee "${TMP_ROOT}/prune_run.txt"
+grep -q "1 kept" "${TMP_ROOT}/prune_run.txt" \
+    || { echo "FAIL: cache prune did not bound the store to one entry" >&2; exit 1; }
+
 echo "ci.sh: all stages passed"

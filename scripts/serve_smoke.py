@@ -1,0 +1,122 @@
+"""CI smoke for the online scoring service (``python -m repro serve``).
+
+Exercises the real subprocess path end to end:
+
+1. computes the batch reference (``Runner.fit`` + ``Runner.score``) on the
+   committed disk fixture through a store at ``--cache-dir``;
+2. starts ``python -m repro serve --model <config> --port 0`` as a
+   subprocess against the *same* store — the server must load the persisted
+   model (cache hit), not refit;
+3. POSTs the first validation frame as npy and asserts the response is
+   bitwise identical to the batch reference frame;
+4. shuts the server down and verifies a clean exit.
+
+Exit code 0 on success, 1 with a one-line diagnostic on any failure.
+
+Usage: PYTHONPATH=src python scripts/serve_smoke.py --cache-dir DIR
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.config import ExperimentConfig  # noqa: E402
+from repro.api.runner import Runner  # noqa: E402
+from repro.serve import score_frame, wait_until_ready  # noqa: E402
+from repro.store import ResultStore  # noqa: E402
+
+CONFIG_PATH = REPO_ROOT / "examples" / "configs" / "metaseg_serve.json"
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--cache-dir", required=True,
+        help="scratch result-store root shared by the reference and the server",
+    )
+    args = parser.parse_args(argv)
+
+    config_dict = json.loads(CONFIG_PATH.read_text())
+    runner = Runner(store=ResultStore(args.cache_dir))
+    model = runner.fit(config_dict)
+    reference = runner.score(config_dict, model=model)
+
+    config = ExperimentConfig.from_dict(config_dict)
+    config.validate()
+    resolved = runner.resolve(config)
+    sample = next(iter(resolved.dataset.val_samples()))
+    probs = resolved.network.predict_probabilities(sample.labels, index=0)
+
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--model", str(CONFIG_PATH),
+            "--port", "0",
+            "--workers", "2",
+            "--cache-dir", args.cache_dir,
+        ],
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # The server prints "model: cache hit (...)" then "serving on URL".
+        url = None
+        saw_hit = False
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            sys.stdout.write(f"  server: {line}")
+            if "model: cache hit" in line:
+                saw_hit = True
+            match = re.search(r"serving on (http://\S+)", line)
+            if match:
+                url = match.group(1)
+                break
+        if url is None:
+            return fail("server never printed its serving URL")
+        if not saw_hit:
+            return fail("server refit the model instead of loading it from the store")
+        wait_until_ready(url, timeout=30)
+        scored = score_frame(url, probs, image_id=sample.image_id)
+        expected = reference["frames"][0]
+        if json.dumps(scored, sort_keys=True) != json.dumps(expected, sort_keys=True):
+            return fail("server response diverges from the batch Runner.score reference")
+        print(f"serve smoke: bitwise parity on {sample.image_id} "
+              f"({scored['n_segments']} segments)")
+    finally:
+        # Graceful path first (SIGINT -> KeyboardInterrupt -> server.close()),
+        # escalating only if the server hangs.
+        import signal
+
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=15)
+    if process.returncode != 0:
+        return fail(f"server exited with unexpected status {process.returncode}")
+    print("serve smoke: clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Five subcommands expose the unified experiment API headlessly:
+Six subcommands expose the unified experiment API headlessly:
 
 * ``python -m repro run config.json``       — execute an experiment config
   and print its Table-style summary (``--output report.json`` writes the
@@ -14,8 +14,15 @@ Five subcommands expose the unified experiment API headlessly:
   over dotted config fields, run every point with result caching on by
   default (``--no-cache`` disables it), and print a summary table plus a
   structural diff of each point's deterministic report vs. the first;
-* ``python -m repro cache info|clear``      — inspect or evict the result
-  store (``--cache-dir`` / ``$REPRO_CACHE_DIR`` pick the root);
+* ``python -m repro serve --model SPEC``    — fit (or load) a persistent
+  single-frame scoring model and expose it over HTTP: ``SPEC`` is either a
+  metaseg config JSON path (fit once, persist to the store when caching is
+  on) or the hex content key of a previously fitted model (load, no refit);
+  see :mod:`repro.serve`;
+* ``python -m repro cache info|clear|prune`` — inspect, evict or bound the
+  result store (``--cache-dir`` / ``$REPRO_CACHE_DIR`` pick the root;
+  ``prune`` evicts least-recently-used entries down to ``--max-entries`` /
+  ``--max-bytes``);
 * ``python -m repro list``                  — show every registry and its
   entries (``--json`` for machine-readable output);
 * ``python -m repro describe KIND [NAME]``  — document one registry or one
@@ -168,8 +175,100 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"{provenance.get('type', '?')}/{provenance.get('kind', '?')}"
             )
         return 0
+    if args.action == "prune":
+        if args.max_entries is None and args.max_bytes is None:
+            print(
+                "error: cache prune needs --max-entries and/or --max-bytes",
+                file=sys.stderr,
+            )
+            return 2
+        removed = store.prune(max_entries=args.max_entries, max_bytes=args.max_bytes)
+        stats = store.stats()
+        print(
+            f"pruned {removed} cache entr{'y' if removed == 1 else 'ies'}; "
+            f"{stats['n_entries']} kept ({stats['payload_bytes']} payload bytes) "
+            f"in {store.root}"
+        )
+        return 0
     removed = store.clear()
     print(f"evicted {removed} cache entr{'y' if removed == 1 else 'ies'} from {store.root}")
+    return 0
+
+
+def _is_store_key(text: str) -> bool:
+    """True when the model spec looks like a content key, not a file path."""
+    return len(text) >= 8 and all(ch in "0123456789abcdef" for ch in text)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api.fitted import FittedModel
+    from repro.api.runner import Runner
+    from repro.serve import DEFAULT_MAX_REQUEST_BYTES, ScoringServer, ScoringService
+
+    store = _resolve_store(args)
+    spec = args.model
+    if _is_store_key(spec):
+        if store is None:
+            from repro.store import ResultStore
+
+            store = ResultStore(None)
+        from repro.store import StoreError
+
+        try:
+            state = store.get(spec, codec="json")
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if state is None:
+            print(
+                f"error: no fitted model under key {spec!r} in {store.root}",
+                file=sys.stderr,
+            )
+            return 2
+        model = FittedModel.from_state(state)
+        print(f"model: loaded from store ({spec[:12]})")
+    else:
+        path = Path(spec)
+        try:
+            config = json.loads(path.read_text())
+        except OSError as exc:
+            print(f"error: cannot read config {path}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: invalid config {path}: {exc}", file=sys.stderr)
+            return 2
+        model = Runner(store=store).fit(config)
+        if model.cache:
+            hit = "hit" if model.cache.get("hit") else "miss"
+            print(f"model: cache {hit} ({str(model.cache.get('key'))[:12]})")
+        else:
+            print("model: fitted (uncached; use --cache to persist)")
+    service = ScoringService(model)
+    server = ScoringServer(
+        service,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_request_bytes=(
+            args.max_request_bytes
+            if args.max_request_bytes is not None
+            else DEFAULT_MAX_REQUEST_BYTES
+        ),
+        verbose=args.verbose,
+    )
+    # The smoke script parses this line for the (possibly ephemeral) port.
+    print(
+        f"serving on {server.url} "
+        f"(workers={args.workers}, queue={args.queue_depth})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -291,13 +390,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.set_defaults(func=_cmd_sweep)
 
-    cache = sub.add_parser(
-        "cache", help="inspect or evict the content-addressed result store"
+    serve = sub.add_parser(
+        "serve",
+        help="serve a fitted scoring model over HTTP (fit once, score many)",
     )
-    cache.add_argument("action", choices=("info", "clear"), help="what to do")
+    serve.add_argument(
+        "--model", required=True, metavar="SPEC",
+        help="metaseg config JSON path (fit, persist when caching is on) or "
+             "the hex content key of an already-fitted model in the store",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, metavar="N",
+        help="bind port (0 picks an ephemeral port, printed at startup)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="long-lived scoring worker threads",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="bound on accepted-but-unhandled connections; beyond it new "
+             "requests get an immediate 503 (backpressure)",
+    )
+    serve.add_argument(
+        "--max-request-bytes", type=int, default=None, metavar="N",
+        help="request-body cap (413 beyond it; default 64 MiB)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="per-request logging"
+    )
+    serve.add_argument(
+        "--cache", action="store_true",
+        help="fit/load the model through the content-addressed result store",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result-store root (implies --cache; default "
+             "$REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect, evict or bound the content-addressed result store"
+    )
+    cache.add_argument("action", choices=("info", "clear", "prune"), help="what to do")
     cache.add_argument(
         "--cache-dir", default=None, metavar="PATH",
         help="result-store root (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="prune: evict least-recently-used entries beyond this count",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="prune: evict least-recently-used entries until payload bytes fit",
     )
     cache.set_defaults(func=_cmd_cache)
 

@@ -50,6 +50,9 @@ from repro.api.registry import (
 _LAZY = ("Runner", "ExperimentReport", "ResolvedExperiment", "run_experiment",
          "derived_seeds", "DerivedSeeds")
 
+#: Names resolved lazily from repro.api.fitted (pulls in models + metrics).
+_LAZY_FITTED = ("FittedModel",)
+
 #: Names resolved lazily from repro.api.execution (imports the runner).
 _LAZY_EXECUTION = ("SerialBackend", "ThreadBackend", "ProcessBackend",
                    "shard_ranges")
@@ -78,6 +81,7 @@ __all__ = [
     "apply_dotted_override",
     *_LAZY,
     *_LAZY_EXECUTION,
+    *_LAZY_FITTED,
 ]
 
 
@@ -90,6 +94,10 @@ def __getattr__(name: str):
         from repro.api import execution
 
         return getattr(execution, name)
+    if name in _LAZY_FITTED:
+        from repro.api import fitted
+
+        return getattr(fitted, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -209,6 +209,11 @@ class MetaModelConfig:
     features tracked over time); ``model_params`` maps a method name to
     extra keyword arguments for that model family.  The ``decision`` kind
     fits no meta models and ignores this section.
+
+    ``Runner.fit`` (the fit-once/score-many serving path) persists exactly
+    one classifier/regressor pair per config: ``classifiers[0]`` and
+    ``regressors[0]`` are the families it fits on the full dataset and
+    serializes into the :class:`~repro.api.fitted.FittedModel` artifact.
     """
 
     classifiers: List[str] = field(default_factory=lambda: ["logistic"])

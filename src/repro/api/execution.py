@@ -43,7 +43,7 @@ from repro.api.config import ExecutionConfig, ExperimentConfig
 from repro.api.registry import EXECUTION_BACKENDS
 from repro.core.batching import normalize_max_workers, supports_cache_kwarg
 from repro.core.dataset import MetricsDataset
-from repro.store import shard_key
+from repro.store import priors_key, shard_key
 
 
 def shard_ranges(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
@@ -124,6 +124,9 @@ class SerialBackend:
         self.workers = normalize_max_workers(execution.workers)
         self.streaming = bool(execution.streaming)
         self.store = None
+        #: Backend-side fit cache counters (decision priors), merged into
+        #: ``report.cache["fits"]`` by the Runner when a store is attached.
+        self.fit_cache = {"hits": 0, "misses": 0}
 
     def attach_store(self, store) -> None:
         """Install a :class:`repro.store.ResultStore` for result reuse.
@@ -209,16 +212,64 @@ class SerialBackend:
         if getattr(dataset, "n_train", None) == 0 or getattr(dataset, "n_val", None) == 0:
             raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
 
+    def _fit_decision_priors(self, resolved, comparison, timer) -> int:
+        """Fit the decision priors, or load them from the store; returns n_train.
+
+        The priors are a pure function of the training labels, so with a
+        store attached they are cached under :func:`repro.store.priors_key`
+        (which excludes the rule/strength/category fields — a rule sweep on
+        a fixed substrate reuses one fit).  The cached payload carries the
+        training-walk count alongside the priors so a hit reproduces the
+        report's ``n_train_images`` provenance without re-walking the split.
+        """
+        key = None
+        if self.store is not None:
+            key = priors_key(resolved.config.to_dict())
+            cached = self.store.get(key, codec="pickle")
+            if (
+                isinstance(cached, dict)
+                and "priors" in cached
+                and int(cached.get("n_train", 0)) > 0
+            ):
+                with timer("fit_priors"):
+                    comparison.set_priors(cached["priors"])
+                self.fit_cache["hits"] += 1
+                return int(cached["n_train"])
+        train = _CountingIterator(_iter_split(resolved.dataset, "train", cache=False))
+        try:
+            with timer("fit_priors"):
+                comparison.fit_priors(train)
+        except ValueError as exc:
+            # Rewrite only the estimator's own empty-input error; anything
+            # else is a real data problem and must surface unchanged.
+            if train.count == 0 and "at least one label map" in str(exc):
+                raise ValueError(
+                    "decision needs data.n_train >= 1 and data.n_val >= 1"
+                ) from None
+            raise
+        if not train.count:
+            raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
+        if self.store is not None:
+            self.fit_cache["misses"] += 1
+            self.store.put(
+                key,
+                {"priors": comparison.priors, "n_train": train.count},
+                codec="pickle",
+                provenance={
+                    "type": "priors",
+                    "kind": resolved.config.kind,
+                    "n_train": train.count,
+                    "config_hash": key,
+                },
+            )
+        return train.count
+
     def compare_decision(self, runner, resolved, comparison, timer) -> Tuple:
         """Fit priors and compare rules; returns (result, n_train, n_val)."""
         config = resolved.config
         if self.streaming:
             self._check_decision_splits(resolved.dataset)
-            train = _CountingIterator(_iter_split(resolved.dataset, "train", cache=False))
-            with timer("fit_priors"):
-                comparison.fit_priors(train)
-            if not train.count:
-                raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
+            n_train = self._fit_decision_priors(resolved, comparison, timer)
             with timer("evaluate"):
                 result, n_val = comparison.compare_streaming(
                     _iter_split(resolved.dataset, "val", cache=False),
@@ -226,13 +277,12 @@ class SerialBackend:
                     strengths=config.evaluation.strengths,
                     max_workers=self._pipeline_workers(),
                 )
-            return result, train.count, n_val
-        train_samples = resolved.dataset.train_samples()
+            return result, n_train, n_val
+        self._check_decision_splits(resolved.dataset)
         val_samples = resolved.dataset.val_samples()
-        if not train_samples or not val_samples:
+        if not val_samples:
             raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
-        with timer("fit_priors"):
-            comparison.fit_priors(train_samples)
+        n_train = self._fit_decision_priors(resolved, comparison, timer)
         with timer("evaluate"):
             result = comparison.compare(
                 val_samples,
@@ -240,7 +290,7 @@ class SerialBackend:
                 strengths=config.evaluation.strengths,
                 max_workers=self._pipeline_workers(),
             )
-        return result, len(train_samples), len(val_samples)
+        return result, n_train, len(val_samples)
 
 
 @EXECUTION_BACKENDS.register("thread")
@@ -447,14 +497,10 @@ class ProcessBackend(SerialBackend):
         if self._use_fallback(n_val):
             return super().compare_decision(runner, resolved, comparison, timer)
         self._check_decision_splits(resolved.dataset)
-        train = _CountingIterator(_iter_split(resolved.dataset, "train", cache=False))
-        with timer("fit_priors"):
-            priors = comparison.fit_priors(train)
-        if not train.count:  # n_val >= 2 here, or the serial fallback ran
-            raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
+        n_train = self._fit_decision_priors(resolved, comparison, timer)
         specs = self._specs(resolved, n_val)
         for spec in specs:
-            spec["priors"] = priors
+            spec["priors"] = comparison.priors
         with timer("evaluate"):
             shards = self._map_shards(_decision_shard, specs)
             result, folded = comparison.fold_compare_results(
@@ -465,4 +511,4 @@ class ProcessBackend(SerialBackend):
                 f"shard merge folded {folded} samples but the dataset "
                 f"advertises n_val={n_val}; a shard dropped or duplicated work"
             )
-        return result, train.count, n_val
+        return result, n_train, n_val

@@ -1,0 +1,199 @@
+"""Fitted serving model: the fit-once/score-many artifact of ``Runner.fit``.
+
+Batch experiments re-fit meta-models inside their evaluation protocols; a
+long-lived scoring service must not.  :class:`FittedModel` bundles everything
+needed to score *new* frames without ground truth — the fitted meta
+classifier and regressor (each owning its scaler and feature subset), the
+label space, the segment connectivity and the feature-name schema — plus
+free-form provenance, with a deterministic JSON state round-trip
+(:meth:`to_state` / :meth:`from_state`) so the artifact persists through the
+content-addressed store and reloads bitwise identical.
+
+``score_frame`` is the single scoring implementation shared by the batch
+reference path (:meth:`Runner.score`) and the HTTP server
+(:mod:`repro.serve`), which is what makes the bitwise server/batch parity
+gate structural rather than aspirational.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.meta_classification import MetaClassifier
+from repro.core.meta_regression import MetaRegressor
+from repro.core.metrics import SegmentMetricsExtractor
+from repro.segmentation.labels import LabelSpace, LabelSpec
+
+#: Revision of the serialized FittedModel layout.
+FITTED_MODEL_FORMAT = 1
+
+
+def _label_space_state(label_space: LabelSpace) -> List[Dict[str, object]]:
+    """JSON form of a label space: one plain dict per spec, in train-id order."""
+    return [
+        {
+            "train_id": spec.train_id,
+            "name": spec.name,
+            "category": spec.category,
+            "color": list(spec.color),
+            "is_thing": spec.is_thing,
+            "typical_relative_size": spec.typical_relative_size,
+            "raw_id": spec.raw_id,
+        }
+        for spec in label_space
+    ]
+
+
+def _label_space_from_state(payload: List[Dict[str, object]]) -> LabelSpace:
+    specs = tuple(
+        LabelSpec(
+            train_id=int(spec["train_id"]),
+            name=spec["name"],
+            category=spec["category"],
+            color=tuple(spec["color"]),
+            is_thing=bool(spec["is_thing"]),
+            typical_relative_size=float(spec["typical_relative_size"]),
+            raw_id=int(spec["raw_id"]),
+        )
+        for spec in payload
+    )
+    return LabelSpace(specs=specs)
+
+
+class FittedModel:
+    """A fitted MetaSeg scoring model ready for fit-once/score-many use.
+
+    Parameters
+    ----------
+    classifier:
+        Fitted :class:`MetaClassifier` (false-positive probability head).
+    regressor:
+        Fitted :class:`MetaRegressor` (IoU prediction head).
+    label_space:
+        Label space the softmax channel axis is indexed by.
+    connectivity:
+        Segment connectivity (4 or 8) used during training extraction; the
+        serving extractor must match it or segments decompose differently.
+    feature_names:
+        Full feature schema produced by the training extractor, recorded to
+        detect drift between the artifact and the serving code.
+    provenance:
+        Free-form description of where the fit came from (config echo,
+        dataset sizes); never influences scoring.
+    """
+
+    def __init__(
+        self,
+        classifier: MetaClassifier,
+        regressor: MetaRegressor,
+        label_space: LabelSpace,
+        connectivity: int,
+        feature_names: List[str],
+        provenance: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.classifier = classifier
+        self.regressor = regressor
+        self.label_space = label_space
+        self.connectivity = int(connectivity)
+        self.feature_names = list(feature_names)
+        self.provenance = dict(provenance or {})
+        #: Ephemeral cache info (hit/key), set by Runner.fit like report.cache;
+        #: excluded from the serialized state.
+        self.cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ ---
+    def build_extractor(self) -> SegmentMetricsExtractor:
+        """A metrics extractor matching the training-time configuration.
+
+        Raises ValueError when the serving code's feature schema no longer
+        matches the one the model was fitted on — scoring through a drifted
+        schema would silently permute feature columns.
+        """
+        extractor = SegmentMetricsExtractor(
+            label_space=self.label_space, connectivity=self.connectivity
+        )
+        if extractor.feature_names() != self.feature_names:
+            raise ValueError(
+                "feature schema drift: the serving extractor produces "
+                f"{len(extractor.feature_names())} features but the model was "
+                f"fitted on {len(self.feature_names)}; re-fit the model"
+            )
+        return extractor
+
+    def score(self, dataset) -> Dict[str, object]:
+        """Score an already-extracted metrics dataset (no ground truth needed)."""
+        return {
+            "segment_ids": dataset.segment_ids.tolist(),
+            "class_ids": dataset.class_ids.tolist(),
+            "tp_probability": self.classifier.predict_proba(dataset).tolist(),
+            "predicted_iou": self.regressor.predict(dataset).tolist(),
+        }
+
+    def score_frame(
+        self,
+        probs: np.ndarray,
+        extractor: Optional[SegmentMetricsExtractor] = None,
+        image_id: str = "frame",
+    ) -> Dict[str, object]:
+        """Extract and score one softmax field; JSON-ready response dict.
+
+        This is the shared scoring path of the batch reference
+        (:meth:`Runner.score`) and the HTTP server, so both produce
+        structurally and bitwise identical results.
+        """
+        if extractor is None:
+            extractor = self.build_extractor()
+        dataset = extractor.extract(probs, image_id=image_id)
+        scored = self.score(dataset)
+        return {
+            "image_id": image_id,
+            "n_segments": len(scored["segment_ids"]),
+            "segment_ids": scored["segment_ids"],
+            "class_ids": scored["class_ids"],
+            "class_names": [
+                self.label_space[class_id].name for class_id in scored["class_ids"]
+            ],
+            "tp_probability": scored["tp_probability"],
+            "predicted_iou": scored["predicted_iou"],
+        }
+
+    # ------------------------------------------------------------------ ---
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serialisable state (bitwise-exact round-trip)."""
+        return {
+            "type": type(self).__name__,
+            "format": FITTED_MODEL_FORMAT,
+            "classifier": self.classifier.to_state(),
+            "regressor": self.regressor.to_state(),
+            "label_space": _label_space_state(self.label_space),
+            "connectivity": self.connectivity,
+            "feature_names": list(self.feature_names),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "FittedModel":
+        """Rebuild a fitted model from its :meth:`to_state` form."""
+        if not isinstance(state, dict) or state.get("type") != cls.__name__:
+            raise ValueError(
+                f"expected a {cls.__name__} state dict, got "
+                f"{state.get('type') if isinstance(state, dict) else type(state).__name__!r}"
+            )
+        if state.get("format") != FITTED_MODEL_FORMAT:
+            raise ValueError(
+                f"unsupported FittedModel format {state.get('format')!r} "
+                f"(this code reads format {FITTED_MODEL_FORMAT})"
+            )
+        return cls(
+            classifier=MetaClassifier.from_state(state["classifier"]),
+            regressor=MetaRegressor.from_state(state["regressor"]),
+            label_space=_label_space_from_state(state["label_space"]),
+            connectivity=state["connectivity"],
+            feature_names=state["feature_names"],
+            provenance=state["provenance"],
+        )
+
+
+__all__ = ["FITTED_MODEL_FORMAT", "FittedModel"]

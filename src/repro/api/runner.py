@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Union
 
 from repro.api.config import ExperimentConfig
-from repro.store import report_key
+from repro.api.fitted import FittedModel
+from repro.store import FitCache, model_key, report_key
 from repro.api.registry import (
     DATASETS,
     DECISION_RULES,
@@ -243,17 +244,19 @@ class Runner:
         start = time.perf_counter()
         resolved = self.resolve(config)
         backend = EXECUTION_BACKENDS.get(config.execution.backend)(config.execution)
+        fit_cache = None
         if self.store is not None:
             attach = getattr(backend, "attach_store", None)
             if attach is not None:
                 attach(self.store)
+            fit_cache = FitCache(self.store, config.to_dict())
         timings["resolve"] = time.perf_counter() - start
         runner = {
             "metaseg": self._run_metaseg,
             "timedynamic": self._run_timedynamic,
             "decision": self._run_decision,
         }[config.kind]
-        report = runner(resolved, backend, timings)
+        report = runner(resolved, backend, timings, fit_cache)
         timings["total"] = time.perf_counter() - start
         report.timings = timings
         if self.store is not None:
@@ -273,7 +276,128 @@ class Runner:
             shard_cache = getattr(backend, "shard_cache", None)
             if shard_cache:
                 report.cache["shards"] = dict(shard_cache)
+            fits = {"hits": 0, "misses": 0}
+            for counters in (fit_cache.counters, getattr(backend, "fit_cache", None)):
+                if counters:
+                    fits["hits"] += int(counters.get("hits", 0))
+                    fits["misses"] += int(counters.get("misses", 0))
+            if fits["hits"] or fits["misses"]:
+                report.cache["fits"] = fits
         return report
+
+    def fit(self, config: Union[ExperimentConfig, Dict[str, object]]) -> FittedModel:
+        """Fit (once) the serving meta-model of a metaseg config.
+
+        Extracts the full metrics dataset and fits the config's *first*
+        registered classifier and regressor on it, returning a
+        :class:`~repro.api.fitted.FittedModel` ready for fit-once/score-many
+        use (:meth:`score`, ``python -m repro serve``).  With a store
+        attached the artifact is persisted under its content key
+        (:func:`repro.store.model_key`) and later calls reload it instead of
+        re-extracting and re-fitting; ``model.cache`` records ``hit``/``key``
+        like ``report.cache`` does.
+        """
+        if isinstance(config, dict):
+            config = ExperimentConfig.from_dict(config)
+        config.validate()
+        if config.kind != "metaseg":
+            raise ValueError(
+                f"Runner.fit builds single-frame scoring models and requires "
+                f"kind 'metaseg', got {config.kind!r}"
+            )
+        key = None
+        if self.store is not None:
+            key = model_key(config.to_dict())
+            state = self.store.get(key, codec="json")
+            if state is not None:
+                model = FittedModel.from_state(state)
+                model.cache = {"hit": True, "key": key}
+                return model
+        resolved = self.resolve(config)
+        backend = EXECUTION_BACKENDS.get(config.execution.backend)(config.execution)
+        if self.store is not None:
+            attach = getattr(backend, "attach_store", None)
+            if attach is not None:
+                attach(self.store)
+        pipeline = self.build_metaseg_pipeline(resolved)
+        metrics, n_images = backend.extract_metaseg(self, resolved, pipeline)
+        classifier_name = resolved.classifiers[0]
+        regressor_name = resolved.regressors[0]
+        params = config.meta_models.model_params
+        classifier = META_CLASSIFIERS.get(classifier_name)(
+            penalty=config.meta_models.classification_penalty,
+            feature_subset=resolved.feature_subset,
+            random_state=resolved.seeds.protocol,
+            **params.get(classifier_name, {}),
+        )
+        classifier.fit(metrics)
+        regressor = META_REGRESSORS.get(regressor_name)(
+            penalty=config.meta_models.regression_penalty,
+            feature_subset=resolved.feature_subset,
+            random_state=resolved.seeds.protocol,
+            **params.get(regressor_name, {}),
+        )
+        regressor.fit(metrics)
+        model = FittedModel(
+            classifier=classifier,
+            regressor=regressor,
+            label_space=pipeline.label_space,
+            connectivity=config.extraction.connectivity,
+            feature_names=list(metrics.feature_names),
+            provenance={
+                "kind": config.kind,
+                "name": config.name,
+                "seed": config.seed,
+                "network": resolved.network.profile.name,
+                "classifier": classifier_name,
+                "regressor": regressor_name,
+                "n_images": n_images,
+                "n_segments": len(metrics),
+            },
+        )
+        if self.store is not None:
+            self.store.put(
+                key,
+                model.to_state(),
+                codec="json",
+                provenance={
+                    "type": "model",
+                    "kind": config.kind,
+                    "name": config.name,
+                    "seed": config.seed,
+                    "config_hash": key,
+                },
+            )
+            model.cache = {"hit": False, "key": key}
+        return model
+
+    def score(
+        self,
+        config: Union[ExperimentConfig, Dict[str, object]],
+        model: Optional[FittedModel] = None,
+    ) -> Dict[str, object]:
+        """Batch-score the validation split with a fitted model.
+
+        The reference for the serving path: walks ``val_samples()`` in
+        order and scores every frame through the same
+        :meth:`FittedModel.score_frame` the HTTP server uses, so server
+        responses are bitwise comparable to this output.  ``model`` defaults
+        to :meth:`fit` of the same config.
+        """
+        if isinstance(config, dict):
+            config = ExperimentConfig.from_dict(config)
+        config.validate()
+        if model is None:
+            model = self.fit(config)
+        resolved = self.resolve(config)
+        extractor = model.build_extractor()
+        frames: List[Dict[str, object]] = []
+        for index, sample in enumerate(resolved.dataset.val_samples()):
+            probs = resolved.network.predict_probabilities(sample.labels, index=index)
+            frames.append(
+                model.score_frame(probs, extractor=extractor, image_id=sample.image_id)
+            )
+        return {"frames": frames, "n_frames": len(frames)}
 
     # ------------------------------------------------------------------ ---
     def resolve(self, config: ExperimentConfig) -> ResolvedExperiment:
@@ -445,7 +569,8 @@ class Runner:
 
     # ------------------------------------------------------------------ ---
     def _run_metaseg(
-        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float]
+        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float],
+        fit_cache: Optional[FitCache] = None,
     ) -> ExperimentReport:
         config = resolved.config
         pipeline = self.build_metaseg_pipeline(resolved)
@@ -461,6 +586,7 @@ class Runner:
             regression_methods=resolved.regressors,
             feature_subset=resolved.feature_subset,
             model_params=config.meta_models.model_params,
+            fit_cache=fit_cache,
         )
         timings["evaluate"] = time.perf_counter() - start
 
@@ -487,7 +613,8 @@ class Runner:
         return report
 
     def _run_timedynamic(
-        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float]
+        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float],
+        fit_cache: Optional[FitCache] = None,
     ) -> ExperimentReport:
         config = resolved.config
         pipeline = self.build_timedynamic_pipeline(resolved)
@@ -503,6 +630,7 @@ class Runner:
             split_fractions=config.evaluation.split_fractions,
             augmentation_factor=config.evaluation.augmentation_factor,
             random_state=resolved.seeds.protocol,
+            fit_cache=fit_cache,
         )
         timings["evaluate"] = time.perf_counter() - start
 
@@ -532,8 +660,11 @@ class Runner:
         return report
 
     def _run_decision(
-        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float]
+        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float],
+        fit_cache: Optional[FitCache] = None,
     ) -> ExperimentReport:
+        # The decision protocol fits no meta-models; its cacheable fit (the
+        # pixel priors) is handled inside the execution backend.
         comparison = self.build_decision_comparison(resolved)
         def timer(stage):
             return self._timer(timings, stage)

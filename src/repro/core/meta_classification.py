@@ -155,6 +155,12 @@ class MetaClassifier:
     ) -> MetaClassificationResult:
         """Fit on *train* and report ACC/AUROC on both splits (Table I protocol)."""
         self.fit(train)
+        return self.evaluate_fitted(train, test)
+
+    def evaluate_fitted(
+        self, train: MetricsDataset, test: MetricsDataset
+    ) -> MetaClassificationResult:
+        """Report ACC/AUROC on both splits without re-fitting."""
         train_scores = self.predict_proba(train)
         test_scores = self.predict_proba(test)
         train_targets = train.target_iou0()
@@ -165,6 +171,52 @@ class MetaClassifier:
             train_auroc=auroc(train_targets, train_scores),
             test_auroc=auroc(test_targets, test_scores),
         )
+
+    # ------------------------------------------------------------------ ---
+    def param_state(self) -> dict:
+        """Canonical constructor parameters (the identity part of a fit key).
+
+        Raises TypeError for non-integer seeds: an ambiguous seed must never
+        silently alias two different fits under one cache key.
+        """
+        from repro.models.state import serializable_seed
+
+        return {
+            "type": type(self).__name__,
+            "method": self.method,
+            "penalty": self.penalty,
+            "feature_subset": self.feature_subset,
+            "random_state": serializable_seed(self.random_state),
+            "model_params": dict(self.model_params),
+        }
+
+    def to_state(self) -> dict:
+        """JSON-serialisable fitted state (bitwise-exact round-trip)."""
+        if self.model_ is None:
+            raise RuntimeError("MetaClassifier is not fitted yet")
+        from repro.models.state import model_to_state
+
+        state = self.param_state()
+        state["scaler"] = self.scaler_.to_state()
+        state["model"] = model_to_state(self.model_)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetaClassifier":
+        """Rebuild a fitted meta classifier from its :meth:`to_state` form."""
+        from repro.models.state import expect_state_type, model_from_state
+
+        expect_state_type(state, cls)
+        meta = cls(
+            method=state["method"],
+            penalty=state["penalty"],
+            feature_subset=state["feature_subset"],
+            random_state=state["random_state"],
+            **state["model_params"],
+        )
+        meta.scaler_ = StandardScaler.from_state(state["scaler"])
+        meta.model_ = model_from_state(state["model"])
+        return meta
 
 
 # Register the supported model families as named factories: a registry entry

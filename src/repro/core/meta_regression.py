@@ -130,6 +130,12 @@ class MetaRegressor:
     def evaluate(self, train: MetricsDataset, test: MetricsDataset) -> MetaRegressionResult:
         """Fit on *train* and report σ/R² on both splits (Table I protocol)."""
         self.fit(train)
+        return self.evaluate_fitted(train, test)
+
+    def evaluate_fitted(
+        self, train: MetricsDataset, test: MetricsDataset
+    ) -> MetaRegressionResult:
+        """Report σ/R² on both splits without re-fitting."""
         train_pred = self.predict(train)
         test_pred = self.predict(test)
         train_targets = train.target_iou()
@@ -140,6 +146,54 @@ class MetaRegressor:
             train_r2=r2_score(train_targets, train_pred),
             test_r2=r2_score(test_targets, test_pred),
         )
+
+    # ------------------------------------------------------------------ ---
+    def param_state(self) -> dict:
+        """Canonical constructor parameters (the identity part of a fit key).
+
+        Raises TypeError for non-integer seeds: an ambiguous seed must never
+        silently alias two different fits under one cache key.
+        """
+        from repro.models.state import serializable_seed
+
+        return {
+            "type": type(self).__name__,
+            "method": self.method,
+            "penalty": self.penalty,
+            "feature_subset": self.feature_subset,
+            "clip_predictions": bool(self.clip_predictions),
+            "random_state": serializable_seed(self.random_state),
+            "model_params": dict(self.model_params),
+        }
+
+    def to_state(self) -> dict:
+        """JSON-serialisable fitted state (bitwise-exact round-trip)."""
+        if self.model_ is None:
+            raise RuntimeError("MetaRegressor is not fitted yet")
+        from repro.models.state import model_to_state
+
+        state = self.param_state()
+        state["scaler"] = self.scaler_.to_state()
+        state["model"] = model_to_state(self.model_)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetaRegressor":
+        """Rebuild a fitted meta regressor from its :meth:`to_state` form."""
+        from repro.models.state import expect_state_type, model_from_state
+
+        expect_state_type(state, cls)
+        meta = cls(
+            method=state["method"],
+            penalty=state["penalty"],
+            feature_subset=state["feature_subset"],
+            clip_predictions=state["clip_predictions"],
+            random_state=state["random_state"],
+            **state["model_params"],
+        )
+        meta.scaler_ = StandardScaler.from_state(state["scaler"])
+        meta.model_ = model_from_state(state["model"])
+        return meta
 
 
 # Register the supported model families as named factories (see the

@@ -247,6 +247,7 @@ class MetaSegPipeline:
         regression_methods: Sequence[str] = ("linear",),
         feature_subset: Optional[Sequence[str]] = None,
         model_params: Optional[Dict[str, dict]] = None,
+        fit_cache=None,
     ) -> MetaSegResult:
         """Evaluate all Table I variants with repeated random splits.
 
@@ -274,6 +275,13 @@ class MetaSegPipeline:
         model_params:
             Optional per-method extra keyword arguments, e.g.
             ``{"gradient_boosting": {"n_estimators": 20}}``.
+        fit_cache:
+            Optional :class:`repro.store.FitCache`: previously performed
+            meta-model fits are loaded from the store instead of re-fitted.
+            Bitwise neutral — every model derives its internal RNG from the
+            per-run split seed, never from the shared protocol stream, so
+            skipping a fit cannot perturb later runs.  Models without the
+            state protocol (custom registry factories) fit in place.
         """
         if not 0.0 < train_fraction < 1.0:
             raise ValueError("train_fraction must be in (0, 1)")
@@ -293,8 +301,20 @@ class MetaSegPipeline:
         classification_runs: Dict[str, List[Dict[str, float]]] = {}
         regression_runs: Dict[str, List[Dict[str, float]]] = {}
 
+        def evaluate(model, train, test, split):
+            """Evaluate one variant, loading a cached fit when possible."""
+            if fit_cache is not None and fit_cache.supports(model):
+                fitted = fit_cache.fit_or_load(model, train, split)
+                return fitted.evaluate_fitted(train, test)
+            return model.evaluate(train, test)
+
         for _ in range(n_runs):
             split_seed = int(rng.integers(0, 2**31 - 1))
+            split = {
+                "protocol": "table1",
+                "split_seed": split_seed,
+                "train_fraction": train_fraction,
+            }
             train, test = dataset.split((train_fraction, 1.0 - train_fraction), split_seed)
             for method, factory in classifier_factories.items():
                 params = model_params.get(method, {})
@@ -309,14 +329,14 @@ class MetaSegPipeline:
                     ),
                 }
                 for name, classifier in variants.items():
-                    result = classifier.evaluate(train, test).as_dict()
+                    result = evaluate(classifier, train, test, split).as_dict()
                     classification_runs.setdefault(name, []).append(result)
             entropy_classifier = MetaClassifier(
                 method="logistic", penalty=0.0,
                 feature_subset=list(METRIC_GROUPS["entropy_only"]), random_state=split_seed,
             )
             classification_runs.setdefault("entropy_only", []).append(
-                entropy_classifier.evaluate(train, test).as_dict()
+                evaluate(entropy_classifier, train, test, split).as_dict()
             )
             for method, factory in regressor_factories.items():
                 regressor = factory(
@@ -325,14 +345,14 @@ class MetaSegPipeline:
                     **model_params.get(method, {}),
                 )
                 regression_runs.setdefault(f"{method}_all_metrics", []).append(
-                    regressor.evaluate(train, test).as_dict()
+                    evaluate(regressor, train, test, split).as_dict()
                 )
             entropy_regressor = MetaRegressor(
                 method="linear", penalty=0.0,
                 feature_subset=list(METRIC_GROUPS["entropy_only"]), random_state=split_seed,
             )
             regression_runs.setdefault("entropy_only", []).append(
-                entropy_regressor.evaluate(train, test).as_dict()
+                evaluate(entropy_regressor, train, test, split).as_dict()
             )
 
         result = MetaSegResult(

@@ -98,6 +98,47 @@ class _BaseGradientBoosting:
             self.estimators_.append(tree)
             self.train_loss_.append(loss(y, raw))
 
+    # ------------------------------------------------------------------ ---
+    def to_state(self) -> dict:
+        """JSON-serialisable fitted state (bitwise-exact round-trip)."""
+        check_is_fitted(self, "estimators_")
+        from repro.models.state import serializable_seed
+
+        try:
+            seed = serializable_seed(self.random_state)
+        except TypeError:
+            seed = None
+        return {
+            "type": type(self).__name__,
+            "params": {
+                "n_estimators": self.n_estimators,
+                "learning_rate": self.learning_rate,
+                "max_depth": self.max_depth,
+                "min_samples_leaf": self.min_samples_leaf,
+                "subsample": self.subsample,
+                "max_features": self.max_features,
+                "random_state": seed,
+            },
+            "initial_prediction": self.initial_prediction_,
+            "train_loss": list(self.train_loss_),
+            "estimators": [tree.to_state() for tree in self.estimators_],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict):
+        """Rebuild a fitted ensemble from its :meth:`to_state` form."""
+        from repro.models.state import expect_state_type
+
+        expect_state_type(state, cls)
+        model = cls(**state["params"])
+        model.initial_prediction_ = float(state["initial_prediction"])
+        model.train_loss_ = [float(value) for value in state["train_loss"]]
+        model.estimators_ = [
+            DecisionTreeRegressor.from_state(tree_state)
+            for tree_state in state["estimators"]
+        ]
+        return model
+
 
 class GradientBoostingRegressor(_BaseGradientBoosting, RegressorMixin):
     """Least-squares gradient boosting for regression."""

@@ -78,3 +78,36 @@ class LinearRegression(RegressorMixin):
         if self.clip_range is not None:
             pred = np.clip(pred, self.clip_range[0], self.clip_range[1])
         return pred
+
+    # ------------------------------------------------------------------ ---
+    def to_state(self) -> dict:
+        """JSON-serialisable fitted state (bitwise-exact round-trip)."""
+        check_is_fitted(self, "coef_")
+        from repro.models.state import encode_array
+
+        return {
+            "type": type(self).__name__,
+            "params": {
+                "alpha": self.alpha,
+                "fit_intercept": self.fit_intercept,
+                "clip_range": (
+                    list(self.clip_range) if self.clip_range is not None else None
+                ),
+            },
+            "coef": encode_array(self.coef_),
+            "intercept": self.intercept_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LinearRegression":
+        """Rebuild a fitted model from its :meth:`to_state` form."""
+        from repro.models.state import decode_array, expect_state_type
+
+        expect_state_type(state, cls)
+        params = dict(state["params"])
+        if params.get("clip_range") is not None:
+            params["clip_range"] = tuple(params["clip_range"])
+        model = cls(**params)
+        model.coef_ = decode_array(state["coef"])
+        model.intercept_ = float(state["intercept"])
+        return model

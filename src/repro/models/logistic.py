@@ -137,3 +137,35 @@ class LogisticRegression(ClassifierMixin):
     def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
         """Hard 0/1 predictions at the given probability threshold."""
         return (self.predict_proba(x) >= threshold).astype(np.int64)
+
+    # ------------------------------------------------------------------ ---
+    def to_state(self) -> dict:
+        """JSON-serialisable fitted state (bitwise-exact round-trip)."""
+        check_is_fitted(self, "coef_")
+        from repro.models.state import encode_array
+
+        return {
+            "type": type(self).__name__,
+            "params": {
+                "penalty": self.penalty,
+                "max_iter": self.max_iter,
+                "tol": self.tol,
+                "learning_rate": self.learning_rate,
+                "class_weight": self.class_weight,
+            },
+            "coef": encode_array(self.coef_),
+            "intercept": self.intercept_,
+            "n_iter": self.n_iter_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LogisticRegression":
+        """Rebuild a fitted model from its :meth:`to_state` form."""
+        from repro.models.state import decode_array, expect_state_type
+
+        expect_state_type(state, cls)
+        model = cls(**state["params"])
+        model.coef_ = decode_array(state["coef"])
+        model.intercept_ = float(state["intercept"])
+        model.n_iter_ = int(state["n_iter"])
+        return model

@@ -134,6 +134,45 @@ class _BaseMLP:
         output, _ = self._forward(x)
         return output
 
+    # ------------------------------------------------------------------ ---
+    def to_state(self) -> dict:
+        """JSON-serialisable fitted state (bitwise-exact round-trip)."""
+        check_is_fitted(self, "weights_")
+        from repro.models.state import encode_array, serializable_seed
+
+        try:
+            seed = serializable_seed(self.random_state)
+        except TypeError:
+            seed = None
+        return {
+            "type": type(self).__name__,
+            "params": {
+                "hidden_layer_sizes": list(self.hidden_layer_sizes),
+                "l2_penalty": self.l2_penalty,
+                "learning_rate": self.learning_rate,
+                "n_epochs": self.n_epochs,
+                "batch_size": self.batch_size,
+                "random_state": seed,
+            },
+            "weights": [encode_array(w) for w in self.weights_],
+            "biases": [encode_array(b) for b in self.biases_],
+            "loss_curve": list(self.loss_curve_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict):
+        """Rebuild a fitted network from its :meth:`to_state` form."""
+        from repro.models.state import decode_array, expect_state_type
+
+        expect_state_type(state, cls)
+        params = dict(state["params"])
+        params["hidden_layer_sizes"] = tuple(params["hidden_layer_sizes"])
+        model = cls(**params)
+        model.weights_ = [decode_array(w) for w in state["weights"]]
+        model.biases_ = [decode_array(b) for b in state["biases"]]
+        model.loss_curve_ = [float(value) for value in state["loss_curve"]]
+        return model
+
 
 class MLPRegressor(_BaseMLP, RegressorMixin):
     """Shallow l2-penalised neural network for regression (squared loss)."""

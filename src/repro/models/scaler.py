@@ -52,3 +52,28 @@ class StandardScaler:
         check_is_fitted(self, "mean_")
         x = check_feature_matrix(x, allow_empty=True)
         return x * self.scale_ + self.mean_
+
+    # ------------------------------------------------------------------ ---
+    def to_state(self) -> dict:
+        """JSON-serialisable fitted state (bitwise-exact round-trip)."""
+        check_is_fitted(self, "mean_")
+        from repro.models.state import encode_array
+
+        return {
+            "type": type(self).__name__,
+            "with_mean": self.with_mean,
+            "with_std": self.with_std,
+            "mean": encode_array(self.mean_),
+            "scale": encode_array(self.scale_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StandardScaler":
+        """Rebuild a fitted scaler from its :meth:`to_state` form."""
+        from repro.models.state import decode_array, expect_state_type
+
+        expect_state_type(state, cls)
+        scaler = cls(with_mean=state["with_mean"], with_std=state["with_std"])
+        scaler.mean_ = decode_array(state["mean"])
+        scaler.scale_ = decode_array(state["scale"])
+        return scaler

@@ -1,0 +1,122 @@
+"""Deterministic, JSON-serialisable state for the from-scratch models.
+
+Every fitted model in :mod:`repro.models` can round-trip through a plain
+dict (``model.to_state()`` / ``Model.from_state(state)``) built from JSON
+types only.  The encoding is *bitwise exact*: float64 values are stored as
+Python floats, whose JSON rendering (``repr`` shortest round-trip) restores
+the identical IEEE-754 bits — so a restored model's predictions are bitwise
+equal to the original's.  That exactness is what lets the result store
+persist fitted meta-models (the fit-once/score-many split of
+:class:`repro.api.fitted.FittedModel` and the protocol-level fit cache of
+:class:`repro.store.fits.FitCache`) without breaking the library's
+bitwise-reproducibility contract.
+
+Array encoding is ``{"dtype", "shape", "data"}`` with ``data`` the
+flattened value list; model states carry a ``"type"`` tag (the class name)
+so :func:`model_from_state` can dispatch generically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def encode_array(array: np.ndarray) -> Dict[str, object]:
+    """Encode an ndarray as JSON types (exact for float64/int64 values)."""
+    array = np.asarray(array)
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": array.ravel().tolist(),
+    }
+
+
+def decode_array(payload: Dict[str, object]) -> np.ndarray:
+    """Rebuild an ndarray from its :func:`encode_array` form."""
+    return np.asarray(payload["data"], dtype=payload["dtype"]).reshape(
+        tuple(payload["shape"])
+    )
+
+
+def expect_state_type(state: object, cls: type) -> Dict[str, object]:
+    """Validate that *state* is a serialised instance of *cls*; return it."""
+    if not isinstance(state, dict) or state.get("type") != cls.__name__:
+        got = state.get("type") if isinstance(state, dict) else type(state).__name__
+        raise ValueError(f"state is not a serialised {cls.__name__} (got {got!r})")
+    return state
+
+
+def serializable_seed(random_state: object) -> Optional[int]:
+    """The int-or-None form of a ``random_state`` parameter.
+
+    Only plain integer seeds (and ``None``) can enter a serialised state or
+    a content-addressed cache key; a live ``numpy.random.Generator`` has no
+    stable canonical form, so it is rejected.
+    """
+    if random_state is None:
+        return None
+    if isinstance(random_state, (int, np.integer)) and not isinstance(
+        random_state, bool
+    ):
+        return int(random_state)
+    raise TypeError(
+        f"only integer (or None) random_state values can be serialised, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def model_types() -> Dict[str, type]:
+    """Class-name → class map of every state-serialisable model.
+
+    Imported lazily so this module stays cycle-free (the model modules do
+    not import it back at module level).
+    """
+    from repro.models.gradient_boosting import (
+        GradientBoostingClassifier,
+        GradientBoostingRegressor,
+    )
+    from repro.models.linear import LinearRegression
+    from repro.models.logistic import LogisticRegression
+    from repro.models.neural_network import MLPClassifier, MLPRegressor
+    from repro.models.scaler import StandardScaler
+    from repro.models.tree import DecisionTreeRegressor
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            StandardScaler,
+            LogisticRegression,
+            LinearRegression,
+            DecisionTreeRegressor,
+            GradientBoostingRegressor,
+            GradientBoostingClassifier,
+            MLPRegressor,
+            MLPClassifier,
+        )
+    }
+
+
+def model_to_state(model: object) -> Dict[str, object]:
+    """Serialise any supported model via its ``to_state`` method."""
+    to_state = getattr(model, "to_state", None)
+    if to_state is None:
+        raise TypeError(
+            f"{type(model).__name__} does not support state serialisation "
+            f"(no to_state method)"
+        )
+    return to_state()
+
+
+def model_from_state(state: object) -> object:
+    """Rebuild a model from a ``"type"``-tagged state dict."""
+    if not isinstance(state, dict) or "type" not in state:
+        raise ValueError("model state must be a dict with a 'type' tag")
+    types = model_types()
+    name = state["type"]
+    if name not in types:
+        raise ValueError(
+            f"unknown model type {name!r}; known: {', '.join(sorted(types))}"
+        )
+    return types[name].from_state(state)

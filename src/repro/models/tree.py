@@ -210,3 +210,66 @@ class DecisionTreeRegressor(RegressorMixin):
             return _count(node.left) + _count(node.right)
 
         return _count(self.root_)
+
+    # ------------------------------------------------------------------ ---
+    def to_state(self) -> dict:
+        """JSON-serialisable fitted state (bitwise-exact round-trip).
+
+        The grown tree is encoded as nested node dicts; ``random_state``
+        only steers fitting (feature subsampling), so a non-integer seed is
+        stored as ``None`` — the fitted structure is complete without it.
+        """
+        check_is_fitted(self, "root_")
+        from repro.models.state import serializable_seed
+
+        def _node_state(node: _Node) -> dict:
+            if node.is_leaf:
+                return {"value": node.value}
+            return {
+                "value": node.value,
+                "feature": int(node.feature),
+                "threshold": node.threshold,
+                "left": _node_state(node.left),
+                "right": _node_state(node.right),
+            }
+
+        try:
+            seed = serializable_seed(self.random_state)
+        except TypeError:
+            seed = None
+        return {
+            "type": type(self).__name__,
+            "params": {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_candidate_thresholds": self.max_candidate_thresholds,
+                "max_features": self.max_features,
+                "random_state": seed,
+            },
+            "n_features": self.n_features_,
+            "root": _node_state(self.root_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DecisionTreeRegressor":
+        """Rebuild a fitted tree from its :meth:`to_state` form."""
+        from repro.models.state import expect_state_type
+
+        expect_state_type(state, cls)
+
+        def _node(payload: dict) -> _Node:
+            if "feature" not in payload or payload["feature"] is None:
+                return _Node(value=float(payload["value"]))
+            return _Node(
+                value=float(payload["value"]),
+                feature=int(payload["feature"]),
+                threshold=float(payload["threshold"]),
+                left=_node(payload["left"]),
+                right=_node(payload["right"]),
+            )
+
+        tree = cls(**state["params"])
+        tree.n_features_ = int(state["n_features"])
+        tree.root_ = _node(state["root"])
+        return tree

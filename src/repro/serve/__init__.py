@@ -1,0 +1,50 @@
+"""Online scoring service: fit once, score many (``python -m repro serve``).
+
+The batch experiment path re-extracts and re-fits per run; serving inverts
+that: ``Runner.fit`` produces a persistent
+:class:`~repro.api.fitted.FittedModel` (meta classifier + regressor +
+scalers + label space + provenance, content-addressed through
+:mod:`repro.store`), and this package exposes it over HTTP for scoring new
+softmax fields without ground truth:
+
+* :class:`ScoringService` — the warm model + extractor behind the endpoints;
+* :class:`ScoringServer` — threaded stdlib HTTP server with a bounded
+  request queue (structured 503 backpressure) and JSON error contracts;
+* :mod:`repro.serve.protocol` — request decoding (npy / npz / JSON);
+* :mod:`repro.serve.client` — stdlib client helpers used by tests, the
+  benchmark and CI.
+
+Server responses are bitwise identical to the batch reference
+(``Runner.score``) because both go through ``FittedModel.score_frame``.
+"""
+
+from repro.serve.client import (
+    health,
+    npy_bytes,
+    npz_bytes,
+    score_batch,
+    score_frame,
+    wait_until_ready,
+)
+from repro.serve.protocol import RequestError, parse_score_request
+from repro.serve.server import (
+    DEFAULT_MAX_REQUEST_BYTES,
+    ScoringRequestHandler,
+    ScoringServer,
+)
+from repro.serve.service import ScoringService
+
+__all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "RequestError",
+    "ScoringRequestHandler",
+    "ScoringServer",
+    "ScoringService",
+    "health",
+    "npy_bytes",
+    "npz_bytes",
+    "parse_score_request",
+    "score_batch",
+    "score_frame",
+    "wait_until_ready",
+]

@@ -1,0 +1,108 @@
+"""Minimal stdlib client helpers for the scoring server.
+
+Used by the tests, the benchmark and the CI smoke script; also a reference
+for how to talk to the server from any HTTP client.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def npy_bytes(array: np.ndarray) -> bytes:
+    """Serialize one array as raw ``.npy`` bytes (``numpy.save``)."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.asarray(array))
+    return buffer.getvalue()
+
+
+def npz_bytes(frames: Sequence[Tuple[str, np.ndarray]]) -> bytes:
+    """Serialize ordered (image_id, probs) pairs as an ``.npz`` archive."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **{name: np.asarray(array) for name, array in frames})
+    return buffer.getvalue()
+
+
+def _request(
+    url: str,
+    data: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 60.0,
+) -> Dict[str, object]:
+    request = urllib.request.Request(url, data=data, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def health(base_url: str, timeout: float = 60.0) -> Dict[str, object]:
+    """GET /healthz."""
+    return _request(f"{base_url.rstrip('/')}/healthz", timeout=timeout)
+
+
+def score_frame(
+    base_url: str,
+    probs: np.ndarray,
+    image_id: Optional[str] = None,
+    timeout: float = 60.0,
+) -> Dict[str, object]:
+    """POST one softmax field as npy bytes; returns the scored frame dict.
+
+    The server always answers with a ``{"frames": [...], "n_frames": N}``
+    envelope; this helper unwraps the single frame.
+    """
+    headers = {"Content-Type": "application/x-npy"}
+    if image_id is not None:
+        headers["X-Image-Id"] = image_id
+    response = _request(
+        f"{base_url.rstrip('/')}/score",
+        data=npy_bytes(probs),
+        headers=headers,
+        timeout=timeout,
+    )
+    return response["frames"][0]
+
+
+def score_batch(
+    base_url: str,
+    frames: Sequence[Tuple[str, np.ndarray]],
+    timeout: float = 120.0,
+) -> Dict[str, object]:
+    """POST a batch of frames as an npz archive; returns the response dict."""
+    return _request(
+        f"{base_url.rstrip('/')}/score",
+        data=npz_bytes(frames),
+        headers={"Content-Type": "application/x-npz"},
+        timeout=timeout,
+    )
+
+
+def wait_until_ready(
+    base_url: str, timeout: float = 30.0, interval: float = 0.1
+) -> Dict[str, object]:
+    """Poll /healthz until it answers; raises TimeoutError at the deadline."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            return health(base_url, timeout=min(5.0, timeout))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise TimeoutError(f"server at {base_url} not ready after {timeout}s: {last_error}")
+
+
+__all__ = [
+    "health",
+    "npy_bytes",
+    "npz_bytes",
+    "score_batch",
+    "score_frame",
+    "wait_until_ready",
+]

@@ -1,0 +1,241 @@
+"""Threaded HTTP scoring server (stdlib ``http.server`` + ``socketserver``).
+
+Request handling is decoupled from accepting: the listener thread only
+enqueues accepted connections into a **bounded** queue, and a fixed pool of
+worker threads drains it.  Under overload the queue fills and new
+connections are rejected immediately with a structured ``503`` JSON body
+(backpressure) instead of piling up unbounded.  Every error path returns a
+JSON ``{"error": {"code", "message"}}`` document — never a stack trace.
+
+Endpoints:
+
+* ``GET /`` / ``GET /healthz`` — liveness + model descriptor.
+* ``GET /model`` — the model descriptor alone.
+* ``POST /score`` — softmax field(s) in, per-segment scores out (see
+  :mod:`repro.serve.protocol` for the accepted encodings).
+
+Worker threads are long-lived, so the extractor's thread-local ``(H, W, C)``
+scratch buffers stay warm across the requests each worker serves.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Optional
+
+from repro.serve.protocol import RequestError, parse_score_request
+from repro.serve.service import ScoringService
+
+#: Default cap on request bodies (64 MiB holds a 1024x2048x19 float64 field).
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+#: How much of an oversized body is drained before responding, so
+#: well-behaved clients receive the 413 JSON instead of a connection reset.
+_DRAIN_LIMIT = 1024 * 1024
+
+
+class ScoringRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto the :class:`ScoringService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ ---
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, code: str, message: str) -> None:
+        self._send_json(status, {"error": {"code": code, "message": message}})
+
+    # ------------------------------------------------------------------ ---
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        service: ScoringService = self.server.service
+        if self.path in ("/", "/healthz"):
+            self._send_json(200, {"status": "ok", **service.info()})
+        elif self.path == "/model":
+            self._send_json(200, service.info())
+        else:
+            self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        if self.path != "/score":
+            self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
+            return
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            self._send_error_json(411, "length_required", "Content-Length is required")
+            return
+        try:
+            length = int(raw_length)
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._send_error_json(400, "bad_length", f"invalid Content-Length {raw_length!r}")
+            return
+        max_bytes = self.server.max_request_bytes
+        if length > max_bytes:
+            # Drain a bounded amount so the client sees the response instead
+            # of a reset, then report the limit.
+            try:
+                self.rfile.read(min(length, _DRAIN_LIMIT))
+            except OSError:
+                pass
+            self._send_error_json(
+                413,
+                "payload_too_large",
+                f"request body of {length} bytes exceeds the limit of {max_bytes}",
+            )
+            return
+        body = self.rfile.read(length)
+        image_id = self.headers.get("X-Image-Id") or "frame"
+        service: ScoringService = self.server.service
+        try:
+            frames = parse_score_request(
+                self.headers.get("Content-Type"), body, default_image_id=image_id
+            )
+            result = service.score_frames(frames)
+        except RequestError as exc:
+            self._send_error_json(exc.status, exc.code, exc.message)
+            return
+        except ValueError as exc:
+            # The extractor's numerical validation (shape/row-sum/classes).
+            self._send_error_json(400, "bad_input", str(exc))
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(
+                500, "internal_error", f"{type(exc).__name__}: {exc}"
+            )
+            return
+        self._send_json(200, result)
+
+
+class ScoringServer(HTTPServer):
+    """HTTP server with a bounded request queue and a worker-thread pool.
+
+    Parameters
+    ----------
+    service:
+        The :class:`ScoringService` to expose.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see :attr:`url`).
+    workers:
+        Number of long-lived handler threads (>= 1).
+    queue_depth:
+        Bound on accepted-but-unhandled connections (>= 1).  When full, new
+        connections get an immediate ``503`` (backpressure) instead of
+        queueing unboundedly.
+    max_request_bytes:
+        Request-body cap enforced before reading the body (413 beyond it).
+    verbose:
+        Enable stdlib per-request logging (quiet by default).
+    """
+
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: ScoringService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        queue_depth: int = 16,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        verbose: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            # Queue(maxsize=0) would mean *unbounded*, the opposite of
+            # backpressure — reject it instead of silently flipping meaning.
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_request_bytes < 1:
+            raise ValueError(f"max_request_bytes must be >= 1, got {max_request_bytes}")
+        self.service = service
+        self.max_request_bytes = int(max_request_bytes)
+        self.verbose = bool(verbose)
+        self._queue: "queue.Queue[Optional[tuple]]" = queue.Queue(maxsize=queue_depth)
+        self._workers = []
+        super().__init__((host, port), ScoringRequestHandler)
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"score-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    # ------------------------------------------------------------------ ---
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (resolves ephemeral ports)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def process_request(self, request, client_address):
+        """Enqueue the accepted connection; reject with 503 when saturated."""
+        try:
+            self._queue.put_nowait((request, client_address))
+        except queue.Full:
+            self._reject(request)
+            self.shutdown_request(request)
+
+    @staticmethod
+    def _reject(request) -> None:
+        """Raw 503 on the accepted socket (no handler thread available)."""
+        body = json.dumps(
+            {"error": {"code": "overloaded",
+                       "message": "request queue is full; retry later"}}
+        ).encode("utf-8")
+        head = (
+            "HTTP/1.0 503 Service Unavailable\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            request.sendall(head + body)
+        except OSError:
+            pass
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            request, client_address = item
+            try:
+                self.finish_request(request, client_address)
+            except Exception:
+                self.handle_error(request, client_address)
+            finally:
+                self.shutdown_request(request)
+
+    def handle_error(self, request, client_address):
+        if self.verbose:
+            super().handle_error(request, client_address)
+
+    def close(self) -> None:
+        """Stop the workers and close the listening socket."""
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=5)
+        self.server_close()
+
+
+__all__ = [
+    "DEFAULT_MAX_REQUEST_BYTES",
+    "ScoringRequestHandler",
+    "ScoringServer",
+]

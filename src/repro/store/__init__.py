@@ -23,10 +23,14 @@ identical to fresh ones — enforced by ``tests/test_store.py`` and
 ``benchmarks/bench_sweep_cache.py``.
 """
 
+from repro.store.fits import FitCache
 from repro.store.keys import (
     CACHE_FORMAT,
     canonical_json,
     content_key,
+    model_key,
+    model_payload,
+    priors_key,
     report_key,
     shard_key,
     stage1_payload,
@@ -42,11 +46,15 @@ from repro.store.store import (
 __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_FORMAT",
+    "FitCache",
     "ResultStore",
     "StoreError",
     "canonical_json",
     "content_key",
     "default_cache_root",
+    "model_key",
+    "model_payload",
+    "priors_key",
     "report_key",
     "shard_key",
     "stage1_payload",

@@ -139,3 +139,65 @@ def shard_key(config_dict: Dict[str, object], start: int, stop: int) -> str:
     return content_key(
         "shard", {"stage1": stage1_payload(config_dict), "range": index_range}
     )
+
+
+def model_payload(config_dict: Dict[str, object]) -> Dict[str, object]:
+    """The subset of a metaseg config that determines a fitted serving model.
+
+    ``Runner.fit`` trains the *first* registered classifier/regressor of the
+    config on the full extracted dataset, so the model identity is the
+    stage-1 payload (what was extracted) plus the fit-side fields (which
+    families and penalties were trained).  Protocol-only fields (``n_runs``,
+    ``train_fraction``, execution backend) are excluded: they cannot change
+    the fitted artifact.
+    """
+    if config_dict["kind"] != "metaseg":
+        raise ValueError(
+            f"fitted serving models require kind 'metaseg', got {config_dict['kind']!r}"
+        )
+    meta = config_dict["meta_models"]
+    return {
+        "stage1": stage1_payload(config_dict),
+        "fit": {
+            "classifier": meta["classifiers"][0],
+            "regressor": meta["regressors"][0],
+            "classification_penalty": meta["classification_penalty"],
+            "regression_penalty": meta["regression_penalty"],
+            "feature_group": meta["feature_group"],
+            "model_params": meta["model_params"],
+        },
+    }
+
+
+def model_key(config_dict: Dict[str, object]) -> str:
+    """Cache key of a fitted serving model (:class:`repro.api.fitted.FittedModel`)."""
+    return content_key("model", model_payload(config_dict))
+
+
+def priors_key(config_dict: Dict[str, object]) -> str:
+    """Cache key of the fitted decision priors of a decision config.
+
+    The prior estimator consumes only the training *labels*, so the key
+    deliberately excludes the rule list, strengths and category: a sweep over
+    decision rules on a fixed data substrate reuses one priors fit.  The
+    network section is still included (conservative: it travels with the data
+    substrate in the resolved experiment).
+    """
+    if config_dict["kind"] != "decision":
+        raise ValueError(
+            f"priors keys require kind 'decision', got {config_dict['kind']!r}"
+        )
+    network = config_dict["network"]
+    return content_key(
+        "priors",
+        {
+            "kind": "decision",
+            "seed": config_dict["seed"],
+            "data": config_dict["data"],
+            "network": {
+                "profile": network["profile"],
+                "overrides": network["overrides"],
+                "dump_root": network.get("dump_root", ""),
+            },
+        },
+    )

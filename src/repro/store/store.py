@@ -300,16 +300,27 @@ class ResultStore:
             "payload_bytes": sum(int(meta.get("size_bytes", 0)) for meta in entries),
         }
 
-    def prune(self, max_entries: int) -> int:
-        """Keep only the *max_entries* most recently *used* entries (LRU).
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Evict least-recently-*used* entries until both bounds hold (LRU).
 
-        Recency is the ``last_access_unix`` stamp :meth:`get` records on
-        every hit, falling back to ``created_unix`` for never-read entries
-        (with creation time as the tie-break), so a hot entry survives even
-        when it is old.  Returns the number of entries evicted.
+        ``max_entries`` bounds the entry count; ``max_bytes`` bounds the
+        summed payload bytes.  Either may be ``None`` (unbounded), but at
+        least one bound must be given.  Recency is the ``last_access_unix``
+        stamp :meth:`get` records on every hit, falling back to
+        ``created_unix`` for never-read entries (with creation time as the
+        tie-break), so a hot entry survives even when it is old.  Returns
+        the number of entries evicted.
         """
-        if max_entries < 0:
+        if max_entries is None and max_bytes is None:
+            raise StoreError("prune needs max_entries and/or max_bytes")
+        if max_entries is not None and max_entries < 0:
             raise StoreError(f"max_entries must be >= 0, got {max_entries}")
+        if max_bytes is not None and max_bytes < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
 
         def recency(meta: Dict[str, object]):
             created = float(meta.get("created_unix", 0.0))
@@ -317,10 +328,18 @@ class ResultStore:
             return (float(accessed) if accessed is not None else created, created)
 
         entries = sorted(self.entries(), key=recency)
+        n_entries = len(entries)
+        total_bytes = sum(int(meta.get("size_bytes", 0)) for meta in entries)
         removed = 0
-        for meta in entries[: max(0, len(entries) - max_entries)]:
+        for meta in entries:
+            over_entries = max_entries is not None and n_entries > max_entries
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            if not over_entries and not over_bytes:
+                break
             if self.evict(str(meta["key"])):
                 removed += 1
+                n_entries -= 1
+                total_bytes -= int(meta.get("size_bytes", 0))
         return removed
 
     def _iter_meta_paths(self):

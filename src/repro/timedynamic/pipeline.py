@@ -269,8 +269,15 @@ class TimeDynamicPipeline:
         split_fractions: Sequence[float] = (0.7, 0.1, 0.2),
         augmentation_factor: float = 1.0,
         random_state: RandomState = 0,
+        fit_cache=None,
     ) -> TimeDynamicResult:
-        """Evaluate meta classification and regression for all configurations."""
+        """Evaluate meta classification and regression for all configurations.
+
+        ``fit_cache`` (an optional :class:`repro.store.FitCache`) loads
+        previously performed meta-model fits from the store instead of
+        re-fitting; bitwise neutral because every model's internal RNG is
+        derived from the per-run seed, never from the shared protocol stream.
+        """
         for composition in compositions:
             if composition not in COMPOSITIONS:
                 raise ValueError(f"unknown composition {composition!r}")
@@ -311,8 +318,22 @@ class TimeDynamicPipeline:
                         augmentation_factor=augmentation_factor, random_state=run_seed,
                     )
                     for method in methods:
+                        split = {
+                            "protocol": "timedynamic",
+                            "run_seed": run_seed,
+                            "n_frames": int(n_frames),
+                            "composition": composition,
+                            "split_fractions": list(split_fractions),
+                            "augmentation_factor": float(augmentation_factor),
+                        }
                         classifier = self._make_classifier(method, run_seed)
-                        classifier.fit(training)
+                        if fit_cache is not None and fit_cache.supports(classifier):
+                            classifier = fit_cache.fit_or_load(
+                                classifier, training,
+                                {**split, "task": "classification"},
+                            )
+                        else:
+                            classifier.fit(training)
                         scores = classifier.predict_proba(test)
                         collect_cls.setdefault((composition, method, n_frames), []).append({
                             "accuracy": accuracy(
@@ -321,7 +342,13 @@ class TimeDynamicPipeline:
                             "auroc": auroc(test_cls_targets, scores),
                         })
                         regressor = self._make_regressor(method, run_seed)
-                        regressor.fit(training)
+                        if fit_cache is not None and fit_cache.supports(regressor):
+                            regressor = fit_cache.fit_or_load(
+                                regressor, training,
+                                {**split, "task": "regression"},
+                            )
+                        else:
+                            regressor.fit(training)
                         predictions = regressor.predict(test)
                         collect_reg.setdefault((composition, method, n_frames), []).append({
                             "sigma": residual_std(test_reg_targets, predictions),

@@ -1,0 +1,135 @@
+"""State round-trip tests for the fitted meta-models.
+
+Every registered meta-classifier / meta-regressor must serialize through
+``to_state`` into a plain-JSON document and reconstruct through
+``from_state`` into a model with **bitwise-identical** predictions — the
+basis of the fit-once/score-many serving path (``Runner.fit`` persists
+exactly these states to the store).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.meta_classification import MetaClassifier
+from repro.core.meta_regression import MetaRegressor
+from repro.models.scaler import StandardScaler
+from repro.models.state import model_from_state, model_to_state
+
+#: Per-method kwargs keeping the expensive families fast in tests.
+FAST_PARAMS = {
+    "gradient_boosting": {"n_estimators": 10},
+    "neural_network": {"n_epochs": 10},
+}
+
+CLASSIFIER_METHODS = ["logistic", "gradient_boosting", "neural_network"]
+REGRESSOR_METHODS = ["linear", "gradient_boosting", "neural_network"]
+
+
+def _json_round_trip(state):
+    """JSON encode/decode — exactly what the store's json codec does."""
+    return json.loads(json.dumps(state))
+
+
+@pytest.fixture(scope="module")
+def split_dataset(metrics_dataset):
+    return metrics_dataset.split((0.8, 0.2), random_state=1)
+
+
+class TestMetaClassifierState:
+    @pytest.mark.parametrize("method", CLASSIFIER_METHODS)
+    def test_round_trip_is_bitwise(self, split_dataset, method):
+        train, test = split_dataset
+        classifier = MetaClassifier(
+            method=method, random_state=3, **FAST_PARAMS.get(method, {})
+        ).fit(train)
+        state = _json_round_trip(classifier.to_state())
+        restored = MetaClassifier.from_state(state)
+        assert np.array_equal(classifier.predict_proba(test), restored.predict_proba(test))
+        # The restored model serializes back to the identical document.
+        assert json.dumps(state, sort_keys=True) == json.dumps(
+            _json_round_trip(restored.to_state()), sort_keys=True
+        )
+
+    @pytest.mark.parametrize("method", CLASSIFIER_METHODS)
+    def test_evaluate_equals_fit_plus_evaluate_fitted(self, split_dataset, method):
+        train, test = split_dataset
+        kwargs = dict(method=method, random_state=5, **FAST_PARAMS.get(method, {}))
+        direct = MetaClassifier(**kwargs).evaluate(train, test)
+        split_path = MetaClassifier(**kwargs)
+        split_path.fit(train)
+        fitted = split_path.evaluate_fitted(train, test)
+        assert direct.test_auroc == fitted.test_auroc
+        assert direct.train_auroc == fitted.train_auroc
+
+    def test_feature_subset_survives(self, split_dataset):
+        train, test = split_dataset
+        subset = list(train.feature_names[:4])
+        classifier = MetaClassifier(
+            method="logistic", feature_subset=subset, random_state=1
+        ).fit(train)
+        restored = MetaClassifier.from_state(_json_round_trip(classifier.to_state()))
+        assert restored.feature_subset == classifier.feature_subset
+        assert np.array_equal(classifier.predict_proba(test), restored.predict_proba(test))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MetaClassifier(method="logistic").to_state()
+
+    def test_wrong_type_raises(self, split_dataset):
+        train, _ = split_dataset
+        state = MetaClassifier(method="logistic").fit(train).to_state()
+        with pytest.raises(ValueError):
+            MetaRegressor.from_state(state)
+
+
+class TestMetaRegressorState:
+    @pytest.mark.parametrize("method", REGRESSOR_METHODS)
+    def test_round_trip_is_bitwise(self, split_dataset, method):
+        train, test = split_dataset
+        regressor = MetaRegressor(
+            method=method, random_state=3, **FAST_PARAMS.get(method, {})
+        ).fit(train)
+        state = _json_round_trip(regressor.to_state())
+        restored = MetaRegressor.from_state(state)
+        assert np.array_equal(regressor.predict(test), restored.predict(test))
+        assert json.dumps(state, sort_keys=True) == json.dumps(
+            _json_round_trip(restored.to_state()), sort_keys=True
+        )
+
+    @pytest.mark.parametrize("method", REGRESSOR_METHODS)
+    def test_evaluate_equals_fit_plus_evaluate_fitted(self, split_dataset, method):
+        train, test = split_dataset
+        kwargs = dict(method=method, random_state=5, **FAST_PARAMS.get(method, {}))
+        direct = MetaRegressor(**kwargs).evaluate(train, test)
+        split_path = MetaRegressor(**kwargs)
+        split_path.fit(train)
+        fitted = split_path.evaluate_fitted(train, test)
+        assert direct.test_r2 == fitted.test_r2
+        assert direct.test_sigma == fitted.test_sigma
+
+    def test_clip_predictions_survives(self, split_dataset):
+        train, test = split_dataset
+        regressor = MetaRegressor(
+            method="linear", clip_predictions=False, random_state=1
+        ).fit(train)
+        restored = MetaRegressor.from_state(_json_round_trip(regressor.to_state()))
+        assert restored.clip_predictions is False
+        assert np.array_equal(regressor.predict(test), restored.predict(test))
+
+
+class TestLowLevelModelState:
+    def test_scaler_round_trip(self, metrics_dataset):
+        features = metrics_dataset.features
+        scaler = StandardScaler().fit(features)
+        restored = StandardScaler.from_state(_json_round_trip(scaler.to_state()))
+        assert np.array_equal(scaler.transform(features), restored.transform(features))
+
+    def test_unknown_model_type_raises(self):
+        with pytest.raises(ValueError):
+            model_from_state({"type": "NotAModel", "params": {}})
+
+    def test_model_to_state_requires_methods(self):
+        with pytest.raises(TypeError):
+            model_to_state(object())

@@ -1,0 +1,339 @@
+"""End-to-end tests for the online scoring service (repro.serve).
+
+The hard gate: server-side scores are **bitwise identical** to the batch
+``Runner.score`` reference on the committed disk fixture — for single-frame
+npy requests, npz batches, JSON payloads, and under concurrent clients.
+Error paths must return structured JSON (never a stack trace), and a
+saturated queue must answer 503 immediately (backpressure).
+"""
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api.config import ExperimentConfig
+from repro.api.fitted import FittedModel
+from repro.api.runner import Runner
+from repro.serve import (
+    ScoringServer,
+    ScoringService,
+    npy_bytes,
+    score_batch,
+    score_frame,
+    wait_until_ready,
+)
+from repro.store import ResultStore
+
+FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "disk"
+
+
+def _serve_config() -> dict:
+    return {
+        "kind": "metaseg",
+        "name": "serve-fixture",
+        "seed": 7,
+        "data": {"dataset": "cityscapes_disk", "root": str(FIXTURE_ROOT)},
+        "network": {
+            "profile": "softmax_dump",
+            "dump_root": str(FIXTURE_ROOT / "softmax"),
+            "mmap": True,
+        },
+        "meta_models": {"classifiers": ["logistic"], "regressors": ["linear"]},
+        "evaluation": {"n_runs": 2, "train_fraction": 0.8},
+    }
+
+
+def _post(url: str, body: bytes, content_type: str, headers: dict = None):
+    """POST raw bytes; returns (status, parsed JSON body) without raising."""
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": content_type, **(headers or {})}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    return Runner().fit(_serve_config())
+
+
+@pytest.fixture(scope="module")
+def batch_reference(fitted_model):
+    return Runner().score(_serve_config(), model=fitted_model)
+
+
+@pytest.fixture(scope="module")
+def val_frames():
+    """The fixture's validation softmax fields as (image_id, probs) pairs."""
+    runner = Runner()
+    config = ExperimentConfig.from_dict(_serve_config())
+    config.validate()
+    resolved = runner.resolve(config)
+    frames = []
+    for index, sample in enumerate(resolved.dataset.val_samples()):
+        probs = resolved.network.predict_probabilities(sample.labels, index=index)
+        frames.append((sample.image_id, np.array(probs)))
+    return frames
+
+
+@pytest.fixture(scope="module")
+def server(fitted_model):
+    server = ScoringServer(
+        ScoringService(fitted_model), port=0, workers=3, queue_depth=16
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    wait_until_ready(server.url)
+    yield server
+    server.shutdown()
+    server.close()
+    thread.join(timeout=5)
+
+
+def _canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+class TestModelPersistence:
+    def test_fit_persists_and_reloads_bitwise(self, tmp_path, val_frames):
+        store = ResultStore(tmp_path)
+        first = Runner(store=store).fit(_serve_config())
+        assert first.cache == {"hit": False, "key": first.cache["key"]}
+        second = Runner(store=store).fit(_serve_config())
+        assert second.cache["hit"] is True
+        assert second.cache["key"] == first.cache["key"]
+        assert _canon(first.to_state()) == _canon(second.to_state())
+        image_id, probs = val_frames[0]
+        assert _canon(first.score_frame(probs, image_id=image_id)) == _canon(
+            second.score_frame(probs, image_id=image_id)
+        )
+
+    def test_state_round_trip_is_bitwise(self, fitted_model, val_frames):
+        state = json.loads(json.dumps(fitted_model.to_state()))
+        restored = FittedModel.from_state(state)
+        assert _canon(json.loads(json.dumps(restored.to_state()))) == _canon(state)
+        for image_id, probs in val_frames:
+            assert _canon(restored.score_frame(probs, image_id=image_id)) == _canon(
+                fitted_model.score_frame(probs, image_id=image_id)
+            )
+
+    def test_fit_rejects_non_metaseg(self):
+        config = _serve_config()
+        config["kind"] = "decision"
+        config["evaluation"] = {}
+        with pytest.raises(ValueError, match="metaseg"):
+            Runner().fit(config)
+
+
+class TestServerParity:
+    def test_health_and_model_endpoints(self, server, fitted_model):
+        info = json.loads(urllib.request.urlopen(server.url + "/healthz").read())
+        assert info["status"] == "ok"
+        assert info["classifier"] == "logistic"
+        assert info["n_classes"] == fitted_model.label_space.n_classes
+        model_info = json.loads(urllib.request.urlopen(server.url + "/model").read())
+        assert model_info["n_features"] == len(fitted_model.feature_names)
+
+    def test_npy_frames_match_batch_bitwise(self, server, val_frames, batch_reference):
+        for (image_id, probs), reference in zip(val_frames, batch_reference["frames"]):
+            scored = score_frame(server.url, probs, image_id=image_id)
+            assert _canon(scored) == _canon(reference)
+
+    def test_npz_batch_matches_batch_bitwise(self, server, val_frames, batch_reference):
+        scored = score_batch(server.url, val_frames)
+        assert _canon(scored) == _canon(batch_reference)
+
+    def test_json_payload_matches_batch_bitwise(self, server, val_frames, batch_reference):
+        image_id, probs = val_frames[0]
+        status, scored = _post(
+            server.url + "/score",
+            json.dumps({"image_id": image_id, "probs": probs.tolist()}).encode(),
+            "application/json",
+        )
+        assert status == 200
+        assert _canon(scored["frames"][0]) == _canon(batch_reference["frames"][0])
+
+    def test_concurrent_clients_match_batch_bitwise(self, server, val_frames, batch_reference):
+        reference = {
+            frame["image_id"]: frame for frame in batch_reference["frames"]
+        }
+        n_clients = 8
+        results = [None] * n_clients
+        errors = []
+
+        def client(slot: int) -> None:
+            # Each client walks the frames in a different order.
+            order = [(slot + i) % len(val_frames) for i in range(len(val_frames))]
+            try:
+                results[slot] = [
+                    score_frame(server.url, val_frames[i][1], image_id=val_frames[i][0])
+                    for i in order
+                ]
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        for scored_frames in results:
+            assert scored_frames is not None
+            for scored in scored_frames:
+                assert _canon(scored) == _canon(reference[scored["image_id"]])
+
+
+class TestErrorContracts:
+    def test_unknown_get_path_is_json_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/nope")
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"]["code"] == "not_found"
+
+    def test_unknown_post_path_is_json_404(self, server):
+        status, body = _post(server.url + "/nope", b"x", "application/x-npy")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_unsupported_media_type_is_415(self, server):
+        status, body = _post(server.url + "/score", b"x", "text/plain")
+        assert status == 415
+        assert body["error"]["code"] == "unsupported_media_type"
+
+    def test_malformed_npy_is_400(self, server):
+        status, body = _post(server.url + "/score", b"not an npy", "application/x-npy")
+        assert status == 400
+        assert body["error"]["code"] == "bad_payload"
+
+    def test_malformed_json_is_400(self, server):
+        status, body = _post(server.url + "/score", b"{nope", "application/json")
+        assert status == 400
+        assert body["error"]["code"] == "bad_payload"
+
+    def test_json_without_probs_is_400(self, server):
+        status, body = _post(server.url + "/score", b'{"x": 1}', "application/json")
+        assert status == 400
+        assert body["error"]["code"] == "bad_payload"
+
+    def test_wrong_ndim_is_400(self, server):
+        status, body = _post(
+            server.url + "/score", npy_bytes(np.ones((4, 4))), "application/x-npy"
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_shape"
+
+    def test_wrong_class_count_is_400(self, server):
+        bad = np.full((8, 8, 3), 1.0 / 3.0)
+        status, body = _post(server.url + "/score", npy_bytes(bad), "application/x-npy")
+        assert status == 400
+        assert body["error"]["code"] == "bad_input"
+
+    def test_missing_content_length_is_411(self, server):
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"POST /score HTTP/1.0\r\n\r\n")
+            response = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert b" 411 " in head.split(b"\r\n", 1)[0]
+        assert json.loads(body)["error"]["code"] == "length_required"
+
+    def test_oversized_payload_is_413(self, fitted_model, val_frames):
+        server = ScoringServer(
+            ScoringService(fitted_model), port=0, workers=1, max_request_bytes=1000
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            wait_until_ready(server.url)
+            status, body = _post(
+                server.url + "/score",
+                npy_bytes(val_frames[0][1]),
+                "application/x-npy",
+            )
+            assert status == 413
+            assert body["error"]["code"] == "payload_too_large"
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5)
+
+
+class TestBackpressure:
+    def test_saturated_queue_answers_503(self, fitted_model, val_frames):
+        gate = threading.Event()
+        entered = threading.Event()
+        service = ScoringService(fitted_model)
+        original = service.score_frames
+
+        def blocking_score_frames(frames):
+            entered.set()
+            gate.wait(timeout=60)
+            return original(frames)
+
+        service.score_frames = blocking_score_frames
+        server = ScoringServer(service, port=0, workers=1, queue_depth=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        image_id, probs = val_frames[0]
+        outcomes = []
+
+        def client() -> None:
+            outcomes.append(score_frame(server.url, probs, image_id=image_id))
+
+        clients = []
+        try:
+            wait_until_ready(server.url)
+            gate.clear()
+            # First request occupies the single worker...
+            clients.append(threading.Thread(target=client))
+            clients[0].start()
+            assert entered.wait(timeout=30)
+            # ...second fills the depth-1 queue...
+            clients.append(threading.Thread(target=client))
+            clients[1].start()
+            _wait_until(lambda: server._queue.qsize() == 1)
+            # ...third connection must be rejected immediately with a
+            # structured 503.  The rejection happens at accept time (before
+            # any parsing), so a small GET probes it without racing the
+            # server's close against a large in-flight request body.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/healthz", timeout=30)
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read())["error"]["code"] == "overloaded"
+        finally:
+            gate.set()
+            for worker in clients:
+                worker.join(timeout=60)
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5)
+        # The occupied/queued requests complete normally once released.
+        assert len(outcomes) == 2
+        for scored in outcomes:
+            assert scored["image_id"] == image_id
+
+
+def _wait_until(predicate, timeout: float = 30.0, interval: float = 0.01) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached before timeout")

@@ -460,6 +460,40 @@ class TestPruneLRU:
         assert store.prune(max_entries=1) == 2
         assert [meta["key"] for meta in store.entries()] == [keys[2]]
 
+    def test_prune_requires_a_bound(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(StoreError, match="max_entries and/or max_bytes"):
+            store.prune()
+
+    def test_prune_by_max_bytes(self, tmp_path, clock):
+        store = ResultStore(tmp_path)
+        keys = [report_key({"n": n}) for n in range(4)]
+        for n, key in enumerate(keys):
+            store.put(key, {"n": n, "pad": "x" * 100})
+        per_entry = store.stats()["payload_bytes"] // 4
+        # Keep roughly two entries' worth of bytes: the two oldest go.
+        removed = store.prune(max_bytes=per_entry * 2)
+        assert removed == 2
+        assert store.stats()["payload_bytes"] <= per_entry * 2
+        assert {meta["key"] for meta in store.entries()} == {keys[2], keys[3]}
+
+    def test_prune_both_bounds_applies_the_tighter(self, tmp_path, clock):
+        store = ResultStore(tmp_path)
+        keys = [report_key({"n": n}) for n in range(4)]
+        for n, key in enumerate(keys):
+            store.put(key, {"n": n, "pad": "x" * 100})
+        total = store.stats()["payload_bytes"]
+        # max_bytes admits all four; max_entries=1 is the binding constraint.
+        assert store.prune(max_entries=1, max_bytes=total) == 3
+        assert [meta["key"] for meta in store.entries()] == [keys[3]]
+
+    def test_prune_zero_entries_clears_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for n in range(3):
+            store.put(report_key({"n": n}), {"n": n})
+        assert store.prune(max_entries=0) == 3
+        assert store.stats()["n_entries"] == 0
+
     def test_touch_failure_never_breaks_a_hit(self, tmp_path, monkeypatch):
         store = ResultStore(tmp_path)
         key = report_key({"lru": "best-effort"})
@@ -504,7 +538,13 @@ class TestRunnerMemoisation:
         runner.run(metaseg_config())
         changed = runner.run(metaseg_config(seed=6))
         assert changed.cache["hit"] is False
-        assert store.stats()["n_entries"] == 2
+        # Besides the two report entries the store now also holds the
+        # per-split meta-model fits of both runs.
+        report_entries = [
+            meta for meta in store.entries()
+            if meta["provenance"].get("type") == "report"
+        ]
+        assert len(report_entries) == 2
 
     def test_corrupted_report_entry_recomputes(self, tmp_path):
         store = ResultStore(tmp_path)

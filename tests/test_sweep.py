@@ -277,8 +277,11 @@ class TestSweepCli:
         capsys.readouterr()
         assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
         out = capsys.readouterr().out
-        assert "entries: 1" in out and "report/metaseg" in out
+        # One report entry plus the per-split meta-model fits of the run.
+        assert "report/metaseg" in out and "fit/metaseg" in out
+        n_entries = len(ResultStore(cache_dir).entries())
+        assert n_entries > 1 and f"entries: {n_entries}" in out
         assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
-        assert "evicted 1 cache entry" in capsys.readouterr().out
+        assert f"evicted {n_entries} cache entries" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
         assert "entries: 0" in capsys.readouterr().out
