@@ -13,6 +13,19 @@ export PYTHONPATH="${REPO_ROOT}/src${PYTHONPATH:+:$PYTHONPATH}"
 TMP_ROOT="$(mktemp -d)"
 trap 'rm -rf "${TMP_ROOT}"' EXIT
 
+echo "=== static analysis (invariant linter; zero unsuppressed findings) ==="
+python -m repro analyze src/repro
+
+echo "=== compileall (src + tests must byte-compile) ==="
+python -m compileall -q src tests
+
+echo "=== pyflakes (if available) ==="
+if python -c "import pyflakes" >/dev/null 2>&1; then
+    python -m pyflakes src tests
+else
+    echo "pyflakes not installed; skipping"
+fi
+
 echo "=== tier-1 test suite ==="
 python -m pytest -x -q
 

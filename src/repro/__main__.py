@@ -1,6 +1,6 @@
 """Command-line entry point: ``python -m repro``.
 
-Six subcommands expose the unified experiment API headlessly:
+Seven subcommands expose the unified experiment API headlessly:
 
 * ``python -m repro run config.json``       — execute an experiment config
   and print its Table-style summary (``--output report.json`` writes the
@@ -26,7 +26,12 @@ Six subcommands expose the unified experiment API headlessly:
 * ``python -m repro list``                  — show every registry and its
   entries (``--json`` for machine-readable output);
 * ``python -m repro describe KIND [NAME]``  — document one registry or one
-  entry (e.g. ``python -m repro describe networks mobilenetv2``).
+  entry (e.g. ``python -m repro describe networks mobilenetv2``);
+* ``python -m repro analyze [PATHS]``       — run the AST-based invariant
+  linter (determinism, parity-gate, config-contract, state-schema and
+  concurrency rules; see :mod:`repro.analysis`) over the source tree;
+  exit 0 clean / 1 findings, ``--json`` for machine output, ``--baseline``
+  to accept known findings, ``--list-rules`` to enumerate the rules.
 
 Reports are deterministic: the same config (and therefore the same single
 seed) produces bitwise-identical ``--output`` files — whether computed or
@@ -314,6 +319,12 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_cli
+
+    return run_cli(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -459,6 +470,47 @@ def build_parser() -> argparse.ArgumentParser:
     describe.add_argument("registry", help="registry kind (see `list`)")
     describe.add_argument("name", nargs="?", default=None, help="entry name")
     describe.set_defaults(func=_cmd_describe)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the static invariant linter over the source tree",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="machine-readable findings on stdout"
+    )
+    analyze.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the findings JSON to this path",
+    )
+    analyze.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="accept the findings fingerprinted in this committed baseline",
+    )
+    analyze.add_argument(
+        "--write-baseline", action="store_true",
+        help="(re)write --baseline from the current findings and exit 0",
+    )
+    analyze.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    analyze.add_argument(
+        "--tests", default=None, metavar="DIR",
+        help="test tree for the parity-gate audit (default: <root>/tests)",
+    )
+    analyze.add_argument(
+        "--configs", default=None, metavar="DIR",
+        help="config JSONs for the override contract "
+             "(default: <root>/examples/configs)",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true", help="list the registered rules"
+    )
+    analyze.set_defaults(func=_cmd_analyze)
     return parser
 
 

@@ -1,0 +1,48 @@
+"""Static enforcement of the library's behavioural contracts.
+
+Every guarantee this reproduction makes — bitwise parity between optimized
+and ``_reference_*`` paths, one seed driving all randomness, content-address
+keys that only change when behaviour changes, deterministic
+``to_state``/``from_state`` round-trips — is otherwise enforced dynamically,
+by tests that must happen to exercise the offending line.  This package is
+the static half of that enforcement: an AST-based linter
+(``python -m repro analyze``) with a string-keyed rule registry mirroring
+the component registries of :mod:`repro.api.registry`.
+
+Rule families (see ``python -m repro analyze --list-rules``):
+
+* **determinism** — unsorted directory walks, set iteration flowing into
+  ordered output, wall-clock reads, unseeded RNG construction and builtin
+  ``hash()`` outside the derived-seed / provenance seams;
+* **parity-gate** — every ``_reference_*`` function must be exercised by at
+  least one test under ``tests/``;
+* **registry/config contract** — every ``*Config`` dataclass field must be
+  consumed somewhere, and dotted override keys in sweep grids / example
+  configs must resolve to real fields;
+* **state-schema** — classes defining ``to_state`` must cover every
+  ``__init__``-assigned attribute and round-trip through ``from_state``;
+* **shared-state concurrency** — mutable state reachable from thread-pool
+  worker code must be lock-guarded or thread-local.
+
+Findings are suppressed per line with ``# repro: allow[rule-id] -- reason``
+(the reason is mandatory and unused suppressions are themselves findings), or
+accepted wholesale through a committed baseline file so only *new* findings
+fail CI.
+"""
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import AnalysisResult, run_analysis
+from repro.analysis.findings import Finding
+from repro.analysis.project import AnalysisProject
+from repro.analysis.registry import ANALYSIS_RULES, AnalysisRule
+
+__all__ = [
+    "ANALYSIS_RULES",
+    "AnalysisProject",
+    "AnalysisResult",
+    "AnalysisRule",
+    "Finding",
+    "load_baseline",
+    "run_analysis",
+    "write_baseline",
+]

@@ -1,0 +1,100 @@
+"""Committed baselines: accepted pre-existing findings, by fingerprint.
+
+A baseline file lets a tree with known, consciously accepted findings pass
+CI while any *new* finding still fails.  Entries are line-independent
+fingerprints (rule + path + message) so unrelated edits do not invalidate
+them — but a baselined finding that no longer occurs becomes a
+``stale-baseline`` finding, so the file shrinks as debts are paid and never
+silently accumulates dead entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Format marker of the baseline JSON document.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be read or has the wrong shape."""
+
+
+def load_baseline(path) -> List[str]:
+    """Fingerprints of a baseline file (``[]`` for a missing file).
+
+    A missing file is an empty baseline — that is what ``--write-baseline``
+    starts from — but an unreadable or malformed file is an error: silently
+    treating it as empty would un-accept every baselined finding at once.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from None
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("findings"), list)
+        or not all(isinstance(entry, str) for entry in payload["findings"])
+    ):
+        raise BaselineError(
+            f"baseline {path} is not a version-{BASELINE_VERSION} "
+            f"analysis baseline"
+        )
+    return list(payload["findings"])
+
+
+def write_baseline(path, findings: Iterable[Finding]) -> int:
+    """Write the findings' fingerprints as the new baseline; returns count.
+
+    Output is sorted and newline-terminated so the file diffs cleanly in
+    review, and parent directories are created like every other CLI output.
+    """
+    path = Path(path)
+    fingerprints = sorted({finding.fingerprint() for finding in findings})
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(
+            {"version": BASELINE_VERSION, "findings": fingerprints}, indent=2
+        )
+        + "\n"
+    )
+    return len(fingerprints)
+
+
+def apply_baseline(
+    findings: List[Finding], fingerprints: List[str], baseline_path: str
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, accepted); stale entries become findings.
+
+    Returns ``(kept, baselined)`` where *kept* includes one
+    ``stale-baseline`` finding per fingerprint that matched nothing.
+    """
+    remaining = set(fingerprints)
+    kept: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in remaining or fingerprint in fingerprints:
+            remaining.discard(fingerprint)
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    for fingerprint in sorted(remaining):
+        kept.append(
+            Finding(
+                rule="stale-baseline",
+                path=baseline_path,
+                line=1,
+                message=f"baseline entry matches no finding: {fingerprint}",
+                hint="remove the entry (or re-run with --write-baseline)",
+            )
+        )
+    return kept, baselined

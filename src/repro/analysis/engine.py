@@ -1,0 +1,100 @@
+"""The analyzer engine: run rules, apply suppressions, apply the baseline.
+
+The pipeline is deliberately ordered:
+
+1. every selected rule runs over the project and yields raw findings
+   (plus any ``parse-error`` findings collected while loading);
+2. per-line ``# repro: allow[...]`` suppressions filter them, *marking
+   usage* as they match;
+3. malformed and unused suppressions are appended as findings of their own
+   (a waiver that silences nothing is debt);
+4. the baseline splits what remains into accepted and new findings, turning
+   stale entries into findings.
+
+The returned result is deterministic: findings are sorted by path, line,
+rule and message, so two runs over the same tree are diffable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.project import AnalysisProject
+from repro.analysis.registry import ANALYSIS_RULES
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    """New (unsuppressed, non-baselined) findings; non-empty means exit 1."""
+    baselined: List[Finding] = field(default_factory=list)
+    """Findings accepted by the baseline file."""
+    n_suppressed: int = 0
+    """Findings silenced by allow comments."""
+    n_files: int = 0
+    """Analyzed Python files."""
+    rules: List[str] = field(default_factory=list)
+    """Rule ids that ran."""
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document for ``--json`` / ``--output``."""
+        return {
+            "clean": self.clean,
+            "n_files": self.n_files,
+            "n_findings": len(self.findings),
+            "n_baselined": len(self.baselined),
+            "n_suppressed": self.n_suppressed,
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+        }
+
+
+def run_analysis(
+    project: AnalysisProject,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+) -> AnalysisResult:
+    """Run the selected rules (default: all registered) over *project*."""
+    selected = list(rule_ids) if rule_ids else ANALYSIS_RULES.available()
+    raw: List[Finding] = list(project.parse_failures)
+    for rule_id in selected:
+        rule = ANALYSIS_RULES.get(rule_id)()
+        raw.extend(rule.check(project))
+
+    modules_by_rel = {module.rel: module for module in project.modules}
+    kept: List[Finding] = []
+    n_suppressed = 0
+    for finding in raw:
+        module = modules_by_rel.get(finding.path)
+        if module is not None and module.suppressions.suppresses(
+            finding.rule, finding.line
+        ):
+            n_suppressed += 1
+        else:
+            kept.append(finding)
+    # Suppression bookkeeping runs after all rules consumed their matches.
+    for module in project.modules:
+        kept.extend(module.suppressions.leftover_findings(module.rel))
+
+    baselined: List[Finding] = []
+    if baseline_path is not None:
+        fingerprints = load_baseline(baseline_path)
+        kept, baselined = apply_baseline(kept, fingerprints, str(baseline_path))
+
+    return AnalysisResult(
+        findings=sort_findings(kept),
+        baselined=sort_findings(baselined),
+        n_suppressed=n_suppressed,
+        n_files=len(project.modules),
+        rules=selected,
+    )

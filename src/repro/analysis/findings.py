@@ -1,0 +1,60 @@
+"""The unit of analyzer output: one finding, with a stable fingerprint.
+
+A finding names the rule that fired, where it fired (repo-relative path +
+line) and what to do about it.  The *fingerprint* deliberately excludes the
+line number so a committed baseline survives unrelated edits above the
+finding; it includes the message, which names the offending symbol, so two
+distinct findings in one file do not alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Rule ids of the analyzer's own bookkeeping checks.  They are always on
+#: (not registry entries) and cannot be suppressed with an allow comment —
+#: only a baseline can accept them.
+META_RULES = (
+    "parse-error",
+    "malformed-suppression",
+    "unused-suppression",
+    "stale-baseline",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule id, location, message and a fix hint."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = field(default="", compare=False)
+
+    def format(self) -> str:
+        """The one-line CLI form: ``path:line: [rule] message``."""
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by baselines."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (``--json`` / ``--output``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def sort_findings(findings) -> list:
+    """Deterministic report order: path, then line, then rule, then text."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))

@@ -1,0 +1,103 @@
+"""The string-keyed rule registry, mirroring :mod:`repro.api.registry`.
+
+Rules self-register at import time with the same decorator idiom the
+experiment components use::
+
+    from repro.analysis.registry import ANALYSIS_RULES, AnalysisRule
+
+    @ANALYSIS_RULES.register("det-wallclock")
+    class WallClockRule(AnalysisRule):
+        '''Wall-clock reads outside the provenance/timing seams.'''
+        ...
+
+It is a separate registry class (not :class:`repro.api.registry.Registry`)
+on purpose: that class lazily imports the numpy-backed component modules on
+first lookup, while the analyzer must stay stdlib-only so it can lint a tree
+whose dependencies are broken.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import AnalysisProject
+
+
+class RuleError(KeyError):
+    """Lookup of an unknown rule id or registration under a taken id."""
+
+
+class AnalysisRule:
+    """Base class of all analysis rules.
+
+    Subclasses set ``rule_id`` (done by the registration decorator), provide
+    a docstring whose first line is the CLI description, and implement
+    :meth:`check` yielding :class:`Finding` objects against
+    ``project.modules``.
+    """
+
+    rule_id: str = ""
+
+    def check(self, project: AnalysisProject) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> str:
+        doc = cls.__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else cls.__name__
+
+
+class RuleRegistry:
+    """String-keyed collection of rule classes (sorted, introspectable)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Type[AnalysisRule]] = {}
+        self._loaded = False
+
+    def register(self, rule_id: str):
+        """Class decorator registering a rule under *rule_id*."""
+        if not isinstance(rule_id, str) or not rule_id:
+            raise TypeError("rule ids must be non-empty strings")
+
+        def _add(rule_cls: Type[AnalysisRule]) -> Type[AnalysisRule]:
+            if rule_id in self._entries:
+                raise RuleError(f"analysis rule {rule_id!r} is already registered")
+            rule_cls.rule_id = rule_id
+            self._entries[rule_id] = rule_cls
+            return rule_cls
+
+        return _add
+
+    def get(self, rule_id: str) -> Type[AnalysisRule]:
+        self._load()
+        try:
+            return self._entries[rule_id]
+        except KeyError:
+            raise RuleError(
+                f"unknown analysis rule {rule_id!r}; "
+                f"available: {', '.join(self.available()) or '(none)'}"
+            ) from None
+
+    def available(self) -> List[str]:
+        self._load()
+        return sorted(self._entries)
+
+    def items(self) -> List:
+        self._load()
+        return [(rule_id, self._entries[rule_id]) for rule_id in self.available()]
+
+    def __contains__(self, rule_id: str) -> bool:
+        self._load()
+        return rule_id in self._entries
+
+    def _load(self) -> None:
+        """Import the built-in rule modules (self-registration on import)."""
+        if self._loaded:
+            return
+        self._loaded = True
+        import repro.analysis.rules  # noqa: F401  (registers the built-ins)
+
+
+#: The rule registry; built-in rules register on first lookup.
+ANALYSIS_RULES = RuleRegistry()

@@ -1,0 +1,63 @@
+"""Parity-gate audit: every reference implementation must be exercised.
+
+The repo's correctness story rests on ``_reference_*`` functions — slow,
+obviously-correct implementations that the optimized paths are compared
+against bitwise in tests.  An unreferenced reference function is a silent
+hole in that story: the optimized path it should gate can drift without any
+test noticing.  This rule cross-checks each ``_reference_*`` definition in
+the analyzed tree against the parsed test tree (names, attribute accesses
+and string literals all count, so indirect dispatch via registries or
+parametrized ids is recognized).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.astutil import string_constants
+from repro.analysis.findings import Finding
+from repro.analysis.project import AnalysisProject
+from repro.analysis.registry import ANALYSIS_RULES, AnalysisRule
+
+
+def _referenced_symbols(project: AnalysisProject) -> Set[str]:
+    symbols: Set[str] = set()
+    for module in project.test_modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name):
+                symbols.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                symbols.add(node.attr)
+        symbols.update(string_constants(module.tree))
+    return symbols
+
+
+@ANALYSIS_RULES.register("parity-gate")
+class ParityGateRule(AnalysisRule):
+    """Every _reference_* function must be referenced by a test."""
+
+    def check(self, project: AnalysisProject) -> Iterator[Finding]:
+        if not project.test_modules:
+            # Analyzing a lone file/tree without test context: the audit
+            # has nothing to cross-check against, so it stays silent.
+            return
+        referenced = _referenced_symbols(project)
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name.startswith("_reference_")
+                    and node.name not in referenced
+                ):
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.rel,
+                        line=node.lineno,
+                        message=(
+                            f"reference implementation {node.name}() is not "
+                            f"exercised by any test"
+                        ),
+                        hint="add a bitwise parity test against the "
+                             "optimized path (or remove the dead reference)",
+                    )

@@ -83,7 +83,7 @@ class _CountingIterator:
 
     def __iter__(self) -> Iterator:
         for item in self._items:
-            self.count += 1
+            self.count += 1  # repro: allow[concurrency-shared-state] -- the wrapped iterator has a single consumer; count is read after exhaustion
             yield item
 
 
@@ -136,7 +136,7 @@ class SerialBackend:
         memoisation already happens in the Runner); the ``process`` backend
         uses the store for per-shard caching.
         """
-        self.store = store
+        self.store = store  # repro: allow[concurrency-shared-state] -- Runner wires the store on the parent thread before any walk starts
 
     # ------------------------------------------------------------------ ---
     def _pipeline_workers(self) -> Optional[int]:
@@ -233,7 +233,7 @@ class SerialBackend:
             ):
                 with timer("fit_priors"):
                     comparison.set_priors(cached["priors"])
-                self.fit_cache["hits"] += 1
+                self.fit_cache["hits"] += 1  # repro: allow[concurrency-shared-state] -- decision priors are fitted on the parent thread only
                 return int(cached["n_train"])
         train = _CountingIterator(_iter_split(resolved.dataset, "train", cache=False))
         try:
@@ -250,7 +250,7 @@ class SerialBackend:
         if not train.count:
             raise ValueError("decision needs data.n_train >= 1 and data.n_val >= 1")
         if self.store is not None:
-            self.fit_cache["misses"] += 1
+            self.fit_cache["misses"] += 1  # repro: allow[concurrency-shared-state] -- decision priors are fitted on the parent thread only
             self.store.put(
                 key,
                 {"priors": comparison.priors, "n_train": train.count},
@@ -430,8 +430,8 @@ class ProcessBackend(SerialBackend):
         ]
         results: List = [self.store.get(key, codec="pickle") for key in keys]
         missing = [index for index, result in enumerate(results) if result is None]
-        self.shard_cache["hits"] += len(specs) - len(missing)
-        self.shard_cache["misses"] += len(missing)
+        self.shard_cache["hits"] += len(specs) - len(missing)  # repro: allow[concurrency-shared-state] -- shard futures are consumed on the parent thread only
+        self.shard_cache["misses"] += len(missing)  # repro: allow[concurrency-shared-state] -- shard futures are consumed on the parent thread only
         if missing:
             with ProcessPoolExecutor(max_workers=len(missing)) as pool:
                 computed = list(pool.map(worker, (specs[i] for i in missing)))

@@ -101,7 +101,7 @@ class FittedModel:
         self.provenance = dict(provenance or {})
         #: Ephemeral cache info (hit/key), set by Runner.fit like report.cache;
         #: excluded from the serialized state.
-        self.cache: Dict[str, object] = {}
+        self.cache: Dict[str, object] = {}  # repro: allow[state-schema] -- ephemeral cache info of this process, reset on reload by design
 
     # ------------------------------------------------------------------ ---
     def build_extractor(self) -> SegmentMetricsExtractor:

@@ -25,6 +25,7 @@ built-in implementations are imported lazily on first lookup.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
 
 EntryT = TypeVar("EntryT")
@@ -72,7 +73,7 @@ class Registry:
                 raise RegistryError(
                     f"{self.kind!r} registry already has an entry named {name!r}"
                 )
-            self._entries[name] = entry
+            self._entries[name] = entry  # repro: allow[concurrency-shared-state] -- registration happens at import time, before worker threads exist
             return entry
 
         if obj is _MISSING:
@@ -175,7 +176,7 @@ EXECUTION_BACKENDS = Registry(
 )
 
 #: All registries by kind, in display order.
-ALL_REGISTRIES: Dict[str, Registry] = {
+ALL_REGISTRIES: Dict[str, Registry] = {  # repro: allow[concurrency-shared-state] -- populated by this literal, read-only afterwards
     registry.kind: registry
     for registry in (
         NETWORK_PROFILES,
@@ -189,8 +190,10 @@ ALL_REGISTRIES: Dict[str, Registry] = {
 }
 
 
-_BUILTINS_LOADED = False
+_BUILTINS_READY = False
+_BUILTINS_LOADING = False
 _BUILTINS_ERROR: Optional[BaseException] = None
+_BUILTINS_LOCK = threading.RLock()
 
 
 def _load_builtins() -> None:
@@ -202,28 +205,42 @@ def _load_builtins() -> None:
     import is remembered and re-raised on every subsequent lookup: retrying
     would re-execute partially-registered modules (duplicate-name errors)
     and silently operating on a partial registry would mask the real cause.
+
+    Thread-safe: the first lookup may come from a worker thread (the thread
+    backend, the scoring server), and concurrent first lookups must not let
+    one thread observe the registries while another is still importing.
+    ``_BUILTINS_READY`` flips only after the imports succeed, so the
+    lock-free fast path never exposes a partial registry; the reentrancy
+    flag (plus the RLock) keeps self-registration during the import block
+    working on the loading thread itself.
     """
-    global _BUILTINS_LOADED, _BUILTINS_ERROR
-    if _BUILTINS_ERROR is not None:
-        raise RuntimeError(
-            "registration of the built-in components failed previously"
-        ) from _BUILTINS_ERROR
-    if _BUILTINS_LOADED:
+    global _BUILTINS_READY, _BUILTINS_LOADING, _BUILTINS_ERROR
+    if _BUILTINS_READY:
         return
-    _BUILTINS_LOADED = True
-    try:
-        import repro.api.execution  # noqa: F401
-        import repro.core.meta_classification  # noqa: F401
-        import repro.core.meta_regression  # noqa: F401
-        import repro.core.metrics  # noqa: F401
-        import repro.decision.rules  # noqa: F401
-        import repro.io.cityscapes  # noqa: F401
-        import repro.io.softmax  # noqa: F401
-        import repro.segmentation.datasets  # noqa: F401
-        import repro.segmentation.network  # noqa: F401
-    except BaseException as exc:
-        _BUILTINS_ERROR = exc
-        raise
+    with _BUILTINS_LOCK:
+        if _BUILTINS_ERROR is not None:
+            raise RuntimeError(
+                "registration of the built-in components failed previously"
+            ) from _BUILTINS_ERROR
+        if _BUILTINS_READY or _BUILTINS_LOADING:
+            return
+        _BUILTINS_LOADING = True
+        try:
+            import repro.api.execution  # noqa: F401
+            import repro.core.meta_classification  # noqa: F401
+            import repro.core.meta_regression  # noqa: F401
+            import repro.core.metrics  # noqa: F401
+            import repro.decision.rules  # noqa: F401
+            import repro.io.cityscapes  # noqa: F401
+            import repro.io.softmax  # noqa: F401
+            import repro.segmentation.datasets  # noqa: F401
+            import repro.segmentation.network  # noqa: F401
+        except BaseException as exc:
+            _BUILTINS_ERROR = exc
+            raise
+        finally:
+            _BUILTINS_LOADING = False
+        _BUILTINS_READY = True
 
 
 def all_registries() -> Dict[str, Registry]:

@@ -232,16 +232,16 @@ class Runner:
         config.validate()
         key = None
         if self.store is not None:
-            lookup = time.perf_counter()
+            lookup = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
             key = report_key(config.to_dict())
             payload = self.store.get(key, codec="json")
             if payload is not None:
                 report = ExperimentReport.from_dict(payload)
-                report.timings = {"cache_lookup": time.perf_counter() - lookup}
+                report.timings = {"cache_lookup": time.perf_counter() - lookup}  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
                 report.cache = {"hit": True, "key": key}
                 return report
         timings: Dict[str, float] = {}
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
         resolved = self.resolve(config)
         backend = EXECUTION_BACKENDS.get(config.execution.backend)(config.execution)
         fit_cache = None
@@ -250,14 +250,14 @@ class Runner:
             if attach is not None:
                 attach(self.store)
             fit_cache = FitCache(self.store, config.to_dict())
-        timings["resolve"] = time.perf_counter() - start
+        timings["resolve"] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
         runner = {
             "metaseg": self._run_metaseg,
             "timedynamic": self._run_timedynamic,
             "decision": self._run_decision,
         }[config.kind]
         report = runner(resolved, backend, timings, fit_cache)
-        timings["total"] = time.perf_counter() - start
+        timings["total"] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
         report.timings = timings
         if self.store is not None:
             self.store.put(
@@ -516,11 +516,11 @@ class Runner:
     @contextmanager
     def _timer(timings: Dict[str, float], stage: str):
         """Record the wall-clock seconds of one stage into *timings*."""
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
         try:
             yield
         finally:
-            timings[stage] = time.perf_counter() - start
+            timings[stage] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
 
     # ----------------------------------------------------- pipeline factories
     # Shared by the in-process kind runners and the process-backend shard
@@ -576,7 +576,7 @@ class Runner:
         pipeline = self.build_metaseg_pipeline(resolved)
         with self._timer(timings, "extract"):
             metrics, n_images = backend.extract_metaseg(self, resolved, pipeline)
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
         result = pipeline.run_table1_protocol(
             metrics,
             n_runs=config.evaluation.n_runs,
@@ -588,7 +588,7 @@ class Runner:
             model_params=config.meta_models.model_params,
             fit_cache=fit_cache,
         )
-        timings["evaluate"] = time.perf_counter() - start
+        timings["evaluate"] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
 
         report = self._report(resolved)
         report.provenance.update(
@@ -620,7 +620,7 @@ class Runner:
         pipeline = self.build_timedynamic_pipeline(resolved)
         with self._timer(timings, "process"):
             sequences = backend.process_timedynamic(self, resolved, pipeline)
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
         result = pipeline.run_protocol(
             sequences,
             n_frames_list=config.evaluation.n_frames_list,
@@ -632,7 +632,7 @@ class Runner:
             random_state=resolved.seeds.protocol,
             fit_cache=fit_cache,
         )
-        timings["evaluate"] = time.perf_counter() - start
+        timings["evaluate"] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
 
         report = self._report(resolved)
         report.provenance.update(

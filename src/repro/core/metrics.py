@@ -52,7 +52,7 @@ from repro.utils.validation import check_label_map, check_probability_field, che
 
 #: Named groups of metrics, usable to select feature subsets (ablations and
 #: the entropy-only baseline of Table I).
-METRIC_GROUPS: Dict[str, Sequence[str]] = {
+METRIC_GROUPS: Dict[str, Sequence[str]] = {  # repro: allow[concurrency-shared-state] -- read-only after import (ablation name table)
     "entropy_only": ("E_mean",),
     "dispersion": (
         "E_mean", "E_in_mean", "E_bd_mean", "E_rel", "E_rel_in",
@@ -125,7 +125,7 @@ class SegmentMetricsExtractor:
                 indexing="ij",
             )
             grids = (rows_grid, cols_grid)
-            self._grid_cache[key] = grids
+            self._grid_cache[key] = grids  # repro: allow[concurrency-shared-state] -- idempotent per-key write; racing threads store identical grids
         return grids
 
     def _thread_scratch(self, height: int, width: int, n_classes: int):

@@ -87,9 +87,9 @@ def wait_until_ready(
     base_url: str, timeout: float = 30.0, interval: float = 0.1
 ) -> Dict[str, object]:
     """Poll /healthz until it answers; raises TimeoutError at the deadline."""
-    deadline = time.monotonic() + timeout
+    deadline = time.monotonic() + timeout  # repro: allow[det-wallclock] -- readiness-poll deadline, not part of any scored result
     last_error: Optional[Exception] = None
-    while time.monotonic() < deadline:
+    while time.monotonic() < deadline:  # repro: allow[det-wallclock] -- readiness-poll deadline, not part of any scored result
         try:
             return health(base_url, timeout=min(5.0, timeout))
         except (urllib.error.URLError, OSError, ValueError) as exc:

@@ -175,7 +175,7 @@ class ResultStore:
             "size_bytes": len(data),
             "sha256": _sha256(data),
             "version_salt": version_salt(),
-            "created_unix": time.time(),
+            "created_unix": time.time(),  # repro: allow[det-wallclock] -- created_unix sidecar metadata, excluded from keys and payloads
             "provenance": dict(provenance or {}),
         }
         payload_path = self._payload_path(key)
@@ -227,7 +227,7 @@ class ResultStore:
         keeps its previous access time.
         """
         meta = dict(meta)
-        meta["last_access_unix"] = time.time()
+        meta["last_access_unix"] = time.time()  # repro: allow[det-wallclock] -- LRU last-access bookkeeping, excluded from keys and payloads
         try:
             _atomic_write_bytes(
                 self._meta_path(key),

@@ -32,7 +32,7 @@ def as_rng(random_state: RandomState = None) -> np.random.Generator:
     numpy.random.Generator
     """
     if random_state is None:
-        return np.random.default_rng()
+        return np.random.default_rng()  # repro: allow[det-rng] -- as_rng(None) is the documented OS-entropy seam
     if isinstance(random_state, np.random.Generator):
         return random_state
     if isinstance(random_state, (int, np.integer)):

@@ -1,0 +1,12 @@
+"""Known-bad fixture: unguarded shared state (concurrency-shared-state)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self.total = 0
+        self.lock = threading.Lock()
+
+    def bump(self):
+        self.total += 1

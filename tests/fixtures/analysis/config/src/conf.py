@@ -1,0 +1,25 @@
+"""Fixture config schema: a tiny ExperimentConfig plus a dead knob."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 1
+    rate: float = 0.1
+
+
+@dataclass
+class UnusedConfig:
+    ghost: int = 0
+
+
+@dataclass
+class ExperimentConfig:
+    kind: str = "demo"
+    seed: int = 0
+    train: TrainConfig = field(default_factory=TrainConfig)
+
+
+def consume(config):
+    return (config.kind, config.seed, config.train.epochs, config.train.rate)

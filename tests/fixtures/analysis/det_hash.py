@@ -1,0 +1,5 @@
+"""Known-bad fixture: builtin hash() on a string (det-hash)."""
+
+
+def key_of(name):
+    return hash(name)

@@ -1,0 +1,10 @@
+"""Known-bad fixture: unsorted filesystem enumeration (det-listdir)."""
+
+import os
+
+
+def names(root):
+    out = []
+    for name in os.listdir(root):
+        out.append(name)
+    return out

@@ -1,0 +1,7 @@
+"""Known-bad fixture: process-global randomness (det-rng)."""
+
+import random
+
+
+def draw():
+    return random.random()

@@ -1,0 +1,6 @@
+"""Known-bad fixture: set iteration flowing into ordered output (det-set-order)."""
+
+
+def ordered(items):
+    chosen = set(items)
+    return list(chosen)

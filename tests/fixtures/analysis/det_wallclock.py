@@ -1,0 +1,7 @@
+"""Known-bad fixture: wall-clock read in a computed result (det-wallclock)."""
+
+import time
+
+
+def stamp():
+    return time.time()

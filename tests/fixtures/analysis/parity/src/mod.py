@@ -1,0 +1,9 @@
+"""Fixture source tree: one gated and one orphaned reference function."""
+
+
+def _reference_foo(values):
+    return sorted(values)
+
+
+def _reference_bar(values):
+    return list(reversed(values))

@@ -1,0 +1,3 @@
+"""Fixture test tree: exercises only _reference_bar (by registry name)."""
+
+GATED = ["_reference_bar"]

@@ -1,0 +1,14 @@
+"""Known-bad fixture: to_state misses an __init__ attribute (state-schema)."""
+
+
+class Model:
+    def __init__(self, weights, bias):
+        self.weights = weights
+        self.bias = bias
+
+    def to_state(self):
+        return {"weights": self.weights}
+
+    @classmethod
+    def from_state(cls, state):
+        return cls(state["weights"], 0.0)

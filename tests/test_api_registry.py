@@ -194,3 +194,80 @@ class TestConfigRegistryRoundTrip:
         bad_rule.evaluation.rules = ["bayes", "argmin"]
         with pytest.raises(RegistryError, match="unknown decision_rules entry 'argmin'"):
             runner.resolve(bad_rule)
+
+
+class TestBuiltinLoaderThreadSafety:
+    """The lazy builtin loader must never expose a partially loaded registry.
+
+    Regression tests for the first-lookup race: the loader used to flip its
+    loaded flag *before* importing the self-registering modules, so a second
+    thread looking up concurrently returned immediately and saw whatever
+    subset had registered so far.
+    """
+
+    def test_concurrent_lookup_blocks_until_registration_completes(self, monkeypatch):
+        import builtins
+        import threading
+
+        import repro.api.registry as reg
+
+        monkeypatch.setattr(reg, "_BUILTINS_READY", False)
+        entered = threading.Event()
+        release = threading.Event()
+        real_import = builtins.__import__
+
+        def slow_import(name, *args, **kwargs):
+            # Stall the loading thread mid-registration, with the lock held.
+            if name == "repro.decision.rules":
+                entered.set()
+                release.wait(timeout=10)
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", slow_import)
+        results = []
+        loader = threading.Thread(target=reg.DECISION_RULES.available)
+        second = threading.Thread(
+            target=lambda: results.append(reg.META_CLASSIFIERS.available())
+        )
+        try:
+            loader.start()
+            assert entered.wait(timeout=10)
+            second.start()
+            second.join(timeout=0.3)
+            # The buggy loader let this lookup through mid-import; now it
+            # must wait for the loading thread instead.
+            assert second.is_alive()
+        finally:
+            release.set()
+        loader.join(timeout=10)
+        second.join(timeout=10)
+        assert not loader.is_alive() and not second.is_alive()
+        assert results and "logistic" in results[0]
+
+    def test_parallel_first_lookups_agree(self, monkeypatch):
+        import threading
+
+        import repro.api.registry as reg
+
+        monkeypatch.setattr(reg, "_BUILTINS_READY", False)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+        errors = []
+
+        def lookup(i):
+            try:
+                barrier.wait(timeout=10)
+                results[i] = tuple(reg.DECISION_RULES.available())
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=lookup, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        assert len(set(results)) == 1 and results[0]
