@@ -49,6 +49,10 @@ echo "=== runner-overhead benchmark (smoke) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
     python benchmarks/bench_runner_overhead.py --smoke
 
+echo "=== telemetry-overhead benchmark (smoke: default tracer < 3% gate) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_obs_overhead.py --smoke
+
 echo "=== sharded-runner benchmark (smoke: bitwise parity at 2 workers) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
     python benchmarks/bench_sharded_runner.py --smoke
@@ -57,6 +61,29 @@ echo "=== experiment CLI (smoke) ==="
 python -m repro list
 python -m repro run examples/configs/metaseg_small.json
 python -m repro run examples/configs/metaseg_sharded.json
+
+echo "=== trace export (smoke: run --trace, Chrome trace-event schema) ==="
+TRACE_OUT="${TMP_ROOT}/trace.json"
+python -m repro run examples/configs/metaseg_small.json --trace --trace-out "${TRACE_OUT}" \
+    | tee "${TMP_ROOT}/trace_run.txt"
+grep -q "^trace trace-" "${TMP_ROOT}/trace_run.txt" \
+    || { echo "FAIL: --trace did not print the span tree" >&2; exit 1; }
+python - "${TRACE_OUT}" <<'PY'
+import json, sys
+from repro.obs import validate_chrome_trace
+payload = json.load(open(sys.argv[1]))
+problems = validate_chrome_trace(payload)
+if problems:
+    print("FAIL: invalid chrome trace:", *problems, sep="\n  ", file=sys.stderr)
+    raise SystemExit(1)
+spans = [event for event in payload["traceEvents"] if event["ph"] == "X"]
+names = {event["name"] for event in spans}
+missing = {"run", "resolve", "extract", "evaluate"} - names
+if missing:
+    print(f"FAIL: trace lacks stage spans: {sorted(missing)}", file=sys.stderr)
+    raise SystemExit(1)
+print(f"trace smoke: valid chrome trace ({len(spans)} spans)")
+PY
 
 echo "=== disk-backed I/O (committed fixture smoke) ==="
 python -m repro run examples/configs/metaseg_disk.json

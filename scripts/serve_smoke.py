@@ -101,6 +101,26 @@ def main(argv) -> int:
             return fail("server response diverges from the batch Runner.score reference")
         print(f"serve smoke: bitwise parity on {sample.image_id} "
               f"({scored['n_segments']} segments)")
+
+        # Introspection contract: /healthz answers 200 with the model
+        # descriptor, /metrics exposes the serving instruments.
+        import urllib.request
+
+        health = json.loads(urllib.request.urlopen(url + "/healthz", timeout=30).read())
+        if health.get("status") != "ok":
+            return fail(f"/healthz did not report ok: {health}")
+        metrics = json.loads(urllib.request.urlopen(url + "/metrics", timeout=30).read())
+        counters = metrics.get("counters", {})
+        if counters.get("serve.requests.count", 0) < 1:
+            return fail(f"/metrics shows no handled requests: {counters}")
+        latency = metrics.get("histograms", {}).get("serve.request.latency_seconds")
+        if not latency or sum(latency["counts"]) != latency["count"]:
+            return fail(f"/metrics latency histogram is malformed: {latency}")
+        if "serve.queue.depth" not in metrics.get("gauges", {}):
+            return fail("/metrics lacks the serve.queue.depth gauge")
+        print(f"serve smoke: /healthz ok, /metrics sane "
+              f"({counters['serve.requests.count']} requests, "
+              f"latency count {latency['count']})")
     finally:
         # Graceful path first (SIGINT -> KeyboardInterrupt -> server.close()),
         # escalating only if the server hangs.

@@ -1,15 +1,21 @@
 """Command-line entry point: ``python -m repro``.
 
-Seven subcommands expose the unified experiment API headlessly:
+Eight subcommands expose the unified experiment API headlessly:
 
 * ``python -m repro run config.json``       — execute an experiment config
   and print its Table-style summary (``--output report.json`` writes the
   full report, ``--timings`` includes wall-clock stage timings;
-  ``--backend``/``--workers``/``--streaming`` override the config's
-  execution section, e.g. ``--backend process --workers 4`` for sharded
-  multi-process execution — bitwise identical to serial; ``--cache`` /
-  ``--cache-dir`` serve repeated runs from the content-addressed result
-  store);
+  ``--trace`` prints the hierarchical span tree and ``--trace-out t.json``
+  exports it in Chrome ``trace_event`` format — load in ``chrome://tracing``
+  or Perfetto; ``--backend``/``--workers``/``--streaming`` override the
+  config's execution section, e.g. ``--backend process --workers 4`` for
+  sharded multi-process execution — bitwise identical to serial;
+  ``--cache`` / ``--cache-dir`` serve repeated runs from the
+  content-addressed result store);
+* ``python -m repro trace config.json``     — ``run`` with tracing always
+  on: prints the span tree and writes the Chrome trace (``--trace-out``,
+  default ``trace.json``); the report payload is bitwise identical to an
+  untraced run;
 * ``python -m repro sweep sweep.json``      — expand a declarative grid
   over dotted config fields, run every point with result caching on by
   default (``--no-cache`` disables it), and print a summary table plus a
@@ -83,6 +89,28 @@ def _write_output_json(path_text: str, text: str, what: str) -> Optional[int]:
     return None
 
 
+def _emit_trace(tracer, show_tree: bool, trace_out: Optional[str]) -> Optional[int]:
+    """Print and/or export a collected trace; 2 on a write failure.
+
+    The export is Chrome ``trace_event`` JSON (written atomically), loadable
+    in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    from repro.obs import format_span_tree, trace_to_chrome, write_json
+
+    if show_tree:
+        print(f"trace {tracer.trace_id}:")
+        for line in format_span_tree(tracer.records()):
+            print("  " + line)
+    if trace_out:
+        try:
+            write_json(trace_out, trace_to_chrome(tracer))
+        except OSError as exc:
+            print(f"error: cannot write trace {trace_out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"trace written to {trace_out} (chrome://tracing / ui.perfetto.dev)")
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api.runner import Runner
 
@@ -110,7 +138,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"error: invalid config {path}: {exc}", file=sys.stderr)
         return 2
-    report = Runner(store=_resolve_store(args)).run(config)
+    tracer = None
+    if args.trace or args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    report = Runner(store=_resolve_store(args), tracer=tracer).run(config)
     print("\n".join(report.summary_rows()))
     if report.cache:
         hit = "hit" if report.cache.get("hit") else "miss"
@@ -124,6 +157,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.timings:
         for stage, seconds in report.timings.items():
             print(f"timing {stage}: {seconds:.3f}s")
+    if tracer is not None:
+        failed = _emit_trace(tracer, args.trace, args.trace_out)
+        if failed is not None:
+            return failed
     return 0
 
 
@@ -144,6 +181,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         from repro.store import ResultStore
 
         store = ResultStore(args.cache_dir or None)
+    tracer = None
+    if args.trace or args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     result = run_sweep(
         sweep,
         store=store,
@@ -151,6 +193,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         streaming=args.streaming,
+        tracer=tracer,
     )
     print("\n".join(result.summary_rows()))
     if args.output:
@@ -159,6 +202,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             result.to_json(include_run_info=args.timings) + "\n",
             "sweep result",
         )
+        if failed is not None:
+            return failed
+    if tracer is not None:
+        failed = _emit_trace(tracer, args.trace, args.trace_out)
         if failed is not None:
             return failed
     return 0
@@ -248,6 +295,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"model: cache {hit} ({str(model.cache.get('key'))[:12]})")
         else:
             print("model: fitted (uncached; use --cache to persist)")
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     service = ScoringService(model)
     server = ScoringServer(
         service,
@@ -261,6 +313,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else DEFAULT_MAX_REQUEST_BYTES
         ),
         verbose=args.verbose,
+        tracer=tracer,
     )
     # The smoke script parses this line for the (possibly ephemeral) port.
     print(
@@ -274,6 +327,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+        if tracer is not None:
+            failed = _emit_trace(tracer, show_tree=False, trace_out=args.trace_out)
+            if failed is not None:
+                return failed
     return 0
 
 
@@ -364,7 +421,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-store root (implies --cache; default "
              "$REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    run.add_argument(
+        "--trace", action="store_true",
+        help="collect hierarchical stage spans and print the span tree "
+             "(telemetry only; the report payload is unchanged)",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the collected trace as Chrome trace_event JSON "
+             "(chrome://tracing / ui.perfetto.dev); implies tracing",
+    )
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment config with tracing on and export the trace",
+    )
+    trace.add_argument("config", help="path to an ExperimentConfig JSON file")
+    trace.add_argument("--seed", type=int, default=None, help="override the config seed")
+    trace.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="override the execution backend (serial/thread/process)",
+    )
+    trace.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="override the worker / shard count of the execution backend",
+    )
+    trace.add_argument(
+        "--streaming", action=argparse.BooleanOptionalAction, default=None,
+        help="fold results chunk by chunk (same numbers)",
+    )
+    trace.add_argument(
+        "--cache", action="store_true",
+        help="serve/store this run through the content-addressed result store",
+    )
+    trace.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="result-store root (implies --cache)",
+    )
+    trace.add_argument(
+        "--trace-out", default="trace.json", metavar="FILE",
+        help="Chrome trace_event JSON output path (default: trace.json)",
+    )
+    # `trace` is `run` with tracing forced on; the report summary prints too.
+    trace.set_defaults(func=_cmd_run, trace=True, output=None, timings=False)
 
     sweep = sub.add_parser(
         "sweep",
@@ -398,6 +498,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--timings", action="store_true",
         help="include run info (wall-clock, cache hits) in --output",
+    )
+    sweep.add_argument(
+        "--trace", action="store_true",
+        help="collect per-point spans and print the span tree",
+    )
+    sweep.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the collected sweep trace as Chrome trace_event JSON; "
+             "implies tracing",
     )
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -441,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="PATH",
         help="result-store root (implies --cache; default "
              "$REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record one span per request and write the Chrome trace_event "
+             "JSON on shutdown (live metrics are always at GET /metrics)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -43,6 +43,7 @@ from repro.api.config import ExecutionConfig, ExperimentConfig
 from repro.api.registry import EXECUTION_BACKENDS
 from repro.core.batching import normalize_max_workers, supports_cache_kwarg
 from repro.core.dataset import MetricsDataset
+from repro.obs import NULL_TRACER, Tracer
 from repro.store import priors_key, shard_key
 
 
@@ -124,6 +125,7 @@ class SerialBackend:
         self.workers = normalize_max_workers(execution.workers)
         self.streaming = bool(execution.streaming)
         self.store = None
+        self.tracer = NULL_TRACER
         #: Backend-side fit cache counters (decision priors), merged into
         #: ``report.cache["fits"]`` by the Runner when a store is attached.
         self.fit_cache = {"hits": 0, "misses": 0}
@@ -137,6 +139,15 @@ class SerialBackend:
         uses the store for per-shard caching.
         """
         self.store = store  # repro: allow[concurrency-shared-state] -- Runner wires the store on the parent thread before any walk starts
+
+    def attach_tracer(self, tracer) -> None:
+        """Install the run's :class:`repro.obs.Tracer` (default: no-op).
+
+        The ``process`` backend embeds the tracer's span context into the
+        picklable shard specs and merges the child timelines it gets back;
+        the in-process backends run entirely under the Runner's stage spans.
+        """
+        self.tracer = tracer  # repro: allow[concurrency-shared-state] -- Runner wires the tracer on the parent thread before any walk starts
 
     # ------------------------------------------------------------------ ---
     def _pipeline_workers(self) -> Optional[int]:
@@ -325,8 +336,33 @@ def _shard_runner_and_config(spec: Dict) -> Tuple:
     return runner, runner.resolve(config)
 
 
-def _metaseg_shard(spec: Dict) -> MetricsDataset:
-    """Extract the metrics of validation samples ``start..stop`` of the config."""
+def _traced_shard(spec: Dict, payload_fn):
+    """Run one shard worker under its parent's span context (when carried).
+
+    A spec without a ``"trace"`` entry returns the payload untouched.  With
+    one, the worker continues the parent trace: it builds a child
+    :class:`~repro.obs.Tracer` on the shipped trace id (with a per-shard
+    span-id prefix so merged timelines never collide), runs the payload
+    under a span parented to the remote parent span, and returns
+    ``{"__trace__": export, "payload": payload}`` — the parent unwraps the
+    envelope (and strips it before any store write) and merges the child
+    timeline in shard order.
+    """
+    trace = spec.get("trace")
+    if trace is None:
+        return payload_fn(spec)
+    tracer = Tracer(trace_id=trace["trace_id"], id_prefix=trace["id_prefix"])
+    with tracer.span(
+        trace["name"],
+        parent_id=trace["parent_span_id"],
+        start=spec["start"],
+        stop=spec["stop"],
+    ):
+        payload = payload_fn(spec)
+    return {"__trace__": tracer.export(), "payload": payload}
+
+
+def _metaseg_shard_payload(spec: Dict) -> MetricsDataset:
     runner, resolved = _shard_runner_and_config(spec)
     pipeline = runner.build_metaseg_pipeline(resolved)
     samples = _iter_index_range(
@@ -342,8 +378,12 @@ def _metaseg_shard(spec: Dict) -> MetricsDataset:
     )
 
 
-def _timedynamic_shard(spec: Dict) -> List:
-    """Process sequences ``start..stop`` of the config."""
+def _metaseg_shard(spec: Dict):
+    """Extract the metrics of validation samples ``start..stop`` of the config."""
+    return _traced_shard(spec, _metaseg_shard_payload)
+
+
+def _timedynamic_shard_payload(spec: Dict) -> List:
     runner, resolved = _shard_runner_and_config(spec)
     pipeline = runner.build_timedynamic_pipeline(resolved)
     return list(
@@ -353,13 +393,12 @@ def _timedynamic_shard(spec: Dict) -> List:
     )
 
 
-def _decision_shard(spec: Dict) -> List:
-    """Per-sample rule results of validation samples ``start..stop``.
+def _timedynamic_shard(spec: Dict):
+    """Process sequences ``start..stop`` of the config."""
+    return _traced_shard(spec, _timedynamic_shard_payload)
 
-    The parent ships the fitted priors (fitting them once is cheaper than
-    refitting per worker, and trivially bit-identical); the fold over the
-    concatenated per-sample streams happens in the parent.
-    """
+
+def _decision_shard_payload(spec: Dict) -> List:
     runner, resolved = _shard_runner_and_config(spec)
     comparison = runner.build_decision_comparison(resolved)
     comparison.set_priors(spec["priors"])
@@ -375,6 +414,16 @@ def _decision_shard(spec: Dict) -> List:
             max_workers=0,
         )
     )
+
+
+def _decision_shard(spec: Dict):
+    """Per-sample rule results of validation samples ``start..stop``.
+
+    The parent ships the fitted priors (fitting them once is cheaper than
+    refitting per worker, and trivially bit-identical); the fold over the
+    concatenated per-sample streams happens in the parent.
+    """
+    return _traced_shard(spec, _decision_shard_payload)
 
 
 @EXECUTION_BACKENDS.register("process")
@@ -406,10 +455,38 @@ class ProcessBackend(SerialBackend):
 
     def _specs(self, resolved, n_items: int) -> List[Dict]:
         config_dict = resolved.config.to_dict()
-        return [
+        specs = [
             {"config": config_dict, "start": start, "stop": stop}
             for start, stop in shard_ranges(n_items, self.default_workers())
         ]
+        if self.tracer.enabled:
+            # Continue the parent trace across the process boundary: each
+            # spec carries the open stage span as remote parent plus a
+            # per-shard id prefix.  The ``trace`` entry is ignored by
+            # ``shard_key`` (which hashes only config + index range), so
+            # traced and untraced shard payloads share cache entries.
+            context = self.tracer.current_context()
+            if context is not None:
+                for index, spec in enumerate(specs):
+                    spec["trace"] = {
+                        "trace_id": context["trace_id"],
+                        "parent_span_id": context["parent_span_id"],
+                        "id_prefix": f"{context['parent_span_id']}.{index}.",
+                        "name": f"shard{index}",
+                    }
+        return specs
+
+    def _absorb_shard_trace(self, result):
+        """Unwrap one shard result, folding a carried child timeline in.
+
+        Traced workers return ``{"__trace__": export, "payload": payload}``;
+        the envelope is stripped here — before the payload is cached or
+        merged — so store entries and stage-1 merges never see telemetry.
+        """
+        if isinstance(result, dict) and "__trace__" in result:
+            self.tracer.merge(result["__trace__"])
+            return result["payload"]
+        return result
 
     def _map_shards(self, worker, specs: List[Dict]) -> List:
         """Run the shard specs on a process pool, results in shard order.
@@ -424,7 +501,9 @@ class ProcessBackend(SerialBackend):
         """
         if self.store is None:
             with ProcessPoolExecutor(max_workers=len(specs)) as pool:
-                return list(pool.map(worker, specs))
+                computed = list(pool.map(worker, specs))
+            # Shard order == input order, so child timelines merge in order.
+            return [self._absorb_shard_trace(result) for result in computed]
         keys = [
             shard_key(spec["config"], spec["start"], spec["stop"]) for spec in specs
         ]
@@ -436,6 +515,7 @@ class ProcessBackend(SerialBackend):
             with ProcessPoolExecutor(max_workers=len(missing)) as pool:
                 computed = list(pool.map(worker, (specs[i] for i in missing)))
             for index, result in zip(missing, computed):
+                result = self._absorb_shard_trace(result)
                 results[index] = result
                 spec = specs[index]
                 self.store.put(

@@ -17,13 +17,12 @@ pipeline calls made with the same derived seeds.
 from __future__ import annotations
 
 import json
-import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Union
 
 from repro.api.config import ExperimentConfig
 from repro.api.fitted import FittedModel
+from repro.obs import Tracer, timings_view
 from repro.store import FitCache, model_key, report_key
 from repro.api.registry import (
     DATASETS,
@@ -87,8 +86,12 @@ class ExperimentReport:
     same shape for every experiment kind, so downstream consumers (CLI,
     benchmarks, dashboards) need no kind-specific handling.  ``provenance``
     echoes the config, seed and workload sizes; ``timings`` holds per-stage
-    wall-clock seconds and is excluded from :meth:`to_json` by default so
-    that equal configs serialise to bitwise-equal reports.
+    wall-clock seconds — a flat view derived from the run's span tree
+    (:func:`repro.obs.timings_view`), with the classic top-level stage keys
+    (``resolve``/``extract``/``evaluate``/``total``) plus dotted keys for
+    nested spans (``extract.shard3``) — and is excluded from
+    :meth:`to_json` by default so that equal configs serialise to
+    bitwise-equal reports.
     """
 
     kind: str
@@ -213,10 +216,26 @@ class Runner:
     changes protocol-side fields (e.g. the meta-model) reuses every
     extraction shard.  Cached reports are bitwise identical to fresh ones
     (timings and cache bookkeeping live outside the serialised payload).
+
+    ``tracer`` selects the telemetry sink for the run's stage spans
+    (:mod:`repro.obs`).  The default (``None``) gives every ``run()`` its
+    own private :class:`~repro.obs.Tracer` purely to derive the
+    backward-compatible ``report.timings`` view; pass a shared tracer to
+    collect the full span tree (``python -m repro run --trace``), or
+    :data:`~repro.obs.NULL_TRACER` to disable span recording entirely
+    (``report.timings`` is then empty).  Telemetry never enters the
+    deterministic report payload.
     """
 
-    def __init__(self, store: Optional[object] = None) -> None:
+    def __init__(
+        self, store: Optional[object] = None, tracer: Optional[object] = None
+    ) -> None:
         self.store = store
+        self.tracer = tracer
+
+    def _run_tracer(self) -> object:
+        """The tracer of one ``run()``: configured, or a private per-run one."""
+        return self.tracer if self.tracer is not None else Tracer()
 
     def run(self, config: Union[ExperimentConfig, Dict[str, object]]) -> ExperimentReport:
         """Execute one experiment and return its unified report.
@@ -230,35 +249,43 @@ class Runner:
         if isinstance(config, dict):
             config = ExperimentConfig.from_dict(config)
         config.validate()
+        tracer = self._run_tracer()
         key = None
         if self.store is not None:
-            lookup = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
-            key = report_key(config.to_dict())
-            payload = self.store.get(key, codec="json")
+            with tracer.span("cache_lookup") as lookup:
+                key = report_key(config.to_dict())
+                payload = self.store.get(key, codec="json")
             if payload is not None:
                 report = ExperimentReport.from_dict(payload)
-                report.timings = {"cache_lookup": time.perf_counter() - lookup}  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
+                report.timings = (
+                    {"cache_lookup": lookup.duration_s}
+                    if lookup.duration_s is not None
+                    else {}
+                )
                 report.cache = {"hit": True, "key": key}
                 return report
-        timings: Dict[str, float] = {}
-        start = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
-        resolved = self.resolve(config)
-        backend = EXECUTION_BACKENDS.get(config.execution.backend)(config.execution)
-        fit_cache = None
-        if self.store is not None:
-            attach = getattr(backend, "attach_store", None)
-            if attach is not None:
-                attach(self.store)
-            fit_cache = FitCache(self.store, config.to_dict())
-        timings["resolve"] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
-        runner = {
-            "metaseg": self._run_metaseg,
-            "timedynamic": self._run_timedynamic,
-            "decision": self._run_decision,
-        }[config.kind]
-        report = runner(resolved, backend, timings, fit_cache)
-        timings["total"] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
-        report.timings = timings
+        with tracer.span("run", kind=config.kind, seed=config.seed) as root:
+            with tracer.span("resolve"):
+                resolved = self.resolve(config)
+                backend = EXECUTION_BACKENDS.get(config.execution.backend)(
+                    config.execution
+                )
+                attach_tracer = getattr(backend, "attach_tracer", None)
+                if attach_tracer is not None:
+                    attach_tracer(tracer)
+                fit_cache = None
+                if self.store is not None:
+                    attach = getattr(backend, "attach_store", None)
+                    if attach is not None:
+                        attach(self.store)
+                    fit_cache = FitCache(self.store, config.to_dict())
+            runner = {
+                "metaseg": self._run_metaseg,
+                "timedynamic": self._run_timedynamic,
+                "decision": self._run_decision,
+            }[config.kind]
+            report = runner(resolved, backend, tracer, fit_cache)
+        report.timings = timings_view(tracer.records(), root.span_id)
         if self.store is not None:
             self.store.put(
                 key,
@@ -512,16 +539,6 @@ class Runner:
             kind=config.kind, name=config.name, seed=config.seed, config=config.to_dict()
         )
 
-    @staticmethod
-    @contextmanager
-    def _timer(timings: Dict[str, float], stage: str):
-        """Record the wall-clock seconds of one stage into *timings*."""
-        start = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
-        try:
-            yield
-        finally:
-            timings[stage] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
-
     # ----------------------------------------------------- pipeline factories
     # Shared by the in-process kind runners and the process-backend shard
     # workers (repro.api.execution), so a shard rebuilds exactly the pipeline
@@ -569,26 +586,26 @@ class Runner:
 
     # ------------------------------------------------------------------ ---
     def _run_metaseg(
-        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float],
+        self, resolved: ResolvedExperiment, backend, tracer,
         fit_cache: Optional[FitCache] = None,
     ) -> ExperimentReport:
         config = resolved.config
         pipeline = self.build_metaseg_pipeline(resolved)
-        with self._timer(timings, "extract"):
+        with tracer.span("extract", backend=backend.name) as span:
             metrics, n_images = backend.extract_metaseg(self, resolved, pipeline)
-        start = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
-        result = pipeline.run_table1_protocol(
-            metrics,
-            n_runs=config.evaluation.n_runs,
-            train_fraction=config.evaluation.train_fraction,
-            random_state=resolved.seeds.protocol,
-            classification_methods=resolved.classifiers,
-            regression_methods=resolved.regressors,
-            feature_subset=resolved.feature_subset,
-            model_params=config.meta_models.model_params,
-            fit_cache=fit_cache,
-        )
-        timings["evaluate"] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
+            span.set(n_images=n_images, n_segments=len(metrics))
+        with tracer.span("evaluate", n_runs=config.evaluation.n_runs):
+            result = pipeline.run_table1_protocol(
+                metrics,
+                n_runs=config.evaluation.n_runs,
+                train_fraction=config.evaluation.train_fraction,
+                random_state=resolved.seeds.protocol,
+                classification_methods=resolved.classifiers,
+                regression_methods=resolved.regressors,
+                feature_subset=resolved.feature_subset,
+                model_params=config.meta_models.model_params,
+                fit_cache=fit_cache,
+            )
 
         report = self._report(resolved)
         report.provenance.update(
@@ -613,26 +630,26 @@ class Runner:
         return report
 
     def _run_timedynamic(
-        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float],
+        self, resolved: ResolvedExperiment, backend, tracer,
         fit_cache: Optional[FitCache] = None,
     ) -> ExperimentReport:
         config = resolved.config
         pipeline = self.build_timedynamic_pipeline(resolved)
-        with self._timer(timings, "process"):
+        with tracer.span("process", backend=backend.name) as span:
             sequences = backend.process_timedynamic(self, resolved, pipeline)
-        start = time.perf_counter()  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
-        result = pipeline.run_protocol(
-            sequences,
-            n_frames_list=config.evaluation.n_frames_list,
-            compositions=config.evaluation.compositions,
-            methods=resolved.classifiers,
-            n_runs=config.evaluation.n_runs,
-            split_fractions=config.evaluation.split_fractions,
-            augmentation_factor=config.evaluation.augmentation_factor,
-            random_state=resolved.seeds.protocol,
-            fit_cache=fit_cache,
-        )
-        timings["evaluate"] = time.perf_counter() - start  # repro: allow[det-wallclock] -- stage timing provenance, never part of the deterministic results
+            span.set(n_sequences=len(sequences))
+        with tracer.span("evaluate", n_runs=config.evaluation.n_runs):
+            result = pipeline.run_protocol(
+                sequences,
+                n_frames_list=config.evaluation.n_frames_list,
+                compositions=config.evaluation.compositions,
+                methods=resolved.classifiers,
+                n_runs=config.evaluation.n_runs,
+                split_fractions=config.evaluation.split_fractions,
+                augmentation_factor=config.evaluation.augmentation_factor,
+                random_state=resolved.seeds.protocol,
+                fit_cache=fit_cache,
+            )
 
         report = self._report(resolved)
         report.provenance.update(
@@ -660,16 +677,16 @@ class Runner:
         return report
 
     def _run_decision(
-        self, resolved: ResolvedExperiment, backend, timings: Dict[str, float],
+        self, resolved: ResolvedExperiment, backend, tracer,
         fit_cache: Optional[FitCache] = None,
     ) -> ExperimentReport:
         # The decision protocol fits no meta-models; its cacheable fit (the
-        # pixel priors) is handled inside the execution backend.
+        # pixel priors) is handled inside the execution backend.  The backend
+        # names its own stages ("fit_priors"/"evaluate"), so it receives the
+        # span factory as the stage timer.
         comparison = self.build_decision_comparison(resolved)
-        def timer(stage):
-            return self._timer(timings, stage)
         result, n_train, n_val = backend.compare_decision(
-            self, resolved, comparison, timer
+            self, resolved, comparison, tracer.span
         )
 
         report = self._report(resolved)

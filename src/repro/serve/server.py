@@ -4,15 +4,24 @@ Request handling is decoupled from accepting: the listener thread only
 enqueues accepted connections into a **bounded** queue, and a fixed pool of
 worker threads drains it.  Under overload the queue fills and new
 connections are rejected immediately with a structured ``503`` JSON body
-(backpressure) instead of piling up unbounded.  Every error path returns a
-JSON ``{"error": {"code", "message"}}`` document — never a stack trace.
+(backpressure, with a ``Retry-After`` hint) instead of piling up unbounded.
+Every error path returns a JSON ``{"error": {"code", "message",
+"request_id"}}`` document — never a stack trace.
 
 Endpoints:
 
 * ``GET /`` / ``GET /healthz`` — liveness + model descriptor.
 * ``GET /model`` — the model descriptor alone.
+* ``GET /metrics`` — JSON snapshot of the server's metrics registry
+  (request counts/latency histogram, queue-depth gauge, rejections).
 * ``POST /score`` — softmax field(s) in, per-segment scores out (see
   :mod:`repro.serve.protocol` for the accepted encodings).
+
+Observability: every request is handled under a span of the server's
+tracer (default: disabled) and assigned a ``req-<n>`` request id, echoed
+in the ``X-Request-Id`` response header and in every structured error
+body, so client logs correlate with server traces.  The metrics registry
+is private to the server instance (pass a shared one to aggregate).
 
 Worker threads are long-lived, so the extractor's thread-local ``(H, W, C)``
 scratch buffers stay warm across the requests each worker serves.
@@ -20,12 +29,15 @@ scratch buffers stay warm across the requests each worker serves.
 
 from __future__ import annotations
 
+import itertools
 import json
 import queue
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Optional
 
+from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.serve.protocol import RequestError, parse_score_request
 from repro.serve.service import ScoringService
 
@@ -38,10 +50,21 @@ _DRAIN_LIMIT = 1024 * 1024
 
 
 class ScoringRequestHandler(BaseHTTPRequestHandler):
-    """Maps HTTP requests onto the :class:`ScoringService`."""
+    """Maps HTTP requests onto the :class:`ScoringService`.
+
+    One handler instance serves one connection on one worker thread
+    (HTTP/1.0, one request per connection), so per-request attributes on
+    ``self`` are single-threaded by construction; only the server's
+    metrics/tracer — which are lock-guarded internally — are shared.
+    """
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.0"
+
+    #: Per-request id, allocated before dispatch; echoed in the
+    #: ``X-Request-Id`` header and every structured error body.
+    request_id = ""
+    _response_status = 0
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if getattr(self.server, "verbose", False):
@@ -49,27 +72,58 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------ ---
     def _send_json(self, status: int, payload: dict) -> None:
+        self._response_status = status  # repro: allow[concurrency-shared-state] -- handler instance is per-connection, used by one worker thread
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, code: str, message: str) -> None:
-        self._send_json(status, {"error": {"code": code, "message": message}})
+        error = {"code": code, "message": message}
+        if self.request_id:
+            error["request_id"] = self.request_id
+        self._send_json(status, {"error": error})
 
     # ------------------------------------------------------------------ ---
+    def _dispatch(self, method: str, handler) -> None:
+        """Run one request under its span, with id, latency and counters."""
+        server = self.server
+        self.request_id = server.next_request_id()  # repro: allow[concurrency-shared-state] -- handler instance is per-connection, used by one worker thread
+        start = time.perf_counter()  # repro: allow[det-wallclock] -- request latency telemetry, never part of response payloads
+        with server.tracer.span(
+            "request", method=method, path=self.path, request_id=self.request_id
+        ) as span:
+            handler()
+            span.set(status=self._response_status)
+        elapsed = time.perf_counter() - start  # repro: allow[det-wallclock] -- request latency telemetry, never part of response payloads
+        metrics = server.metrics
+        metrics.counter("serve.requests.count").inc()
+        if self._response_status >= 400:
+            metrics.counter("serve.requests.errors").inc()
+        metrics.histogram("serve.request.latency_seconds").observe(elapsed)
+
     def do_GET(self):  # noqa: N802 - stdlib naming
+        self._dispatch("GET", self._handle_get)
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        self._dispatch("POST", self._handle_post)
+
+    def _handle_get(self) -> None:
         service: ScoringService = self.server.service
         if self.path in ("/", "/healthz"):
             self._send_json(200, {"status": "ok", **service.info()})
         elif self.path == "/model":
             self._send_json(200, service.info())
+        elif self.path == "/metrics":
+            self._send_json(200, self.server.metrics.snapshot())
         else:
             self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
 
-    def do_POST(self):  # noqa: N802 - stdlib naming
+    def _handle_post(self) -> None:
         if self.path != "/score":
             self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
             return
@@ -140,6 +194,13 @@ class ScoringServer(HTTPServer):
         Request-body cap enforced before reading the body (413 beyond it).
     verbose:
         Enable stdlib per-request logging (quiet by default).
+    metrics:
+        The :class:`repro.obs.MetricsRegistry` behind ``GET /metrics``.
+        Defaults to a registry private to this server (pass one in to
+        aggregate several servers or to share with other seams).
+    tracer:
+        A :class:`repro.obs.Tracer` recording one span per request
+        (default: the shared no-op tracer — zero cost).
     """
 
     allow_reuse_address = True
@@ -153,6 +214,8 @@ class ScoringServer(HTTPServer):
         queue_depth: int = 16,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         verbose: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -165,8 +228,21 @@ class ScoringServer(HTTPServer):
         self.service = service
         self.max_request_bytes = int(max_request_bytes)
         self.verbose = bool(verbose)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Monotonic per-server request-id sequence (``next()`` is atomic in
+        #: CPython, so the listener and worker threads can all draw from it).
+        self._request_ids = itertools.count(1)
         self._queue: "queue.Queue[Optional[tuple]]" = queue.Queue(maxsize=queue_depth)
         self._workers = []
+        # Pre-create the serving instruments so /metrics shows the full
+        # contract (latency histogram + queue gauge) from the first scrape,
+        # not only after traffic has arrived.
+        self.metrics.counter("serve.requests.count")
+        self.metrics.counter("serve.requests.errors")
+        self.metrics.counter("serve.rejected.count")
+        self.metrics.gauge("serve.queue.depth")
+        self.metrics.histogram("serve.request.latency_seconds")
         super().__init__((host, port), ScoringRequestHandler)
         for index in range(workers):
             thread = threading.Thread(
@@ -174,6 +250,10 @@ class ScoringServer(HTTPServer):
             )
             thread.start()
             self._workers.append(thread)
+
+    def next_request_id(self) -> str:
+        """Allocate the next ``req-<n>`` id (thread-safe)."""
+        return f"req-{next(self._request_ids)}"
 
     # ------------------------------------------------------------------ ---
     @property
@@ -189,18 +269,30 @@ class ScoringServer(HTTPServer):
         except queue.Full:
             self._reject(request)
             self.shutdown_request(request)
+            return
+        self.metrics.gauge("serve.queue.depth").set(self._queue.qsize())
 
-    @staticmethod
-    def _reject(request) -> None:
-        """Raw 503 on the accepted socket (no handler thread available)."""
+    def _reject(self, request) -> None:
+        """Raw 503 on the accepted socket (no handler thread available).
+
+        The backpressure contract: a ``Retry-After`` hint (the queue drains
+        in well under a second per slot) and a request id in both the
+        ``X-Request-Id`` header and the error body, so rejected calls are
+        correlatable even though no handler span ever ran.
+        """
+        request_id = self.next_request_id()
+        self.metrics.counter("serve.rejected.count").inc()
         body = json.dumps(
             {"error": {"code": "overloaded",
-                       "message": "request queue is full; retry later"}}
+                       "message": "request queue is full; retry later",
+                       "request_id": request_id}}
         ).encode("utf-8")
         head = (
             "HTTP/1.0 503 Service Unavailable\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            "Retry-After: 1\r\n"
+            f"X-Request-Id: {request_id}\r\n"
             "Connection: close\r\n\r\n"
         ).encode("ascii")
         try:
@@ -211,6 +303,7 @@ class ScoringServer(HTTPServer):
     def _worker_loop(self) -> None:
         while True:
             item = self._queue.get()
+            self.metrics.gauge("serve.queue.depth").set(self._queue.qsize())
             if item is None:
                 return
             request, client_address = item

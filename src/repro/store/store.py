@@ -51,6 +51,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.obs.metrics import METRICS
 from repro.store.keys import version_salt
 
 #: Environment variable overriding the default cache root.
@@ -186,6 +187,8 @@ class ResultStore:
             self._meta_path(key),
             (json.dumps(meta, sort_keys=True, indent=2) + "\n").encode("ascii"),
         )
+        METRICS.counter("store.put.count").inc()
+        METRICS.counter("store.put.bytes").inc(len(data))
 
     def get(self, key: str, codec: str = "json") -> Optional[object]:
         """Return the payload stored under *key*, or ``None`` on a miss.
@@ -201,6 +204,7 @@ class ResultStore:
             data = payload_path.read_bytes()
         except (OSError, ValueError):
             self.evict(key)
+            METRICS.counter("store.get.misses").inc()
             return None
         if (
             not isinstance(meta, dict)
@@ -208,14 +212,18 @@ class ResultStore:
             or meta.get("sha256") != _sha256(data)
         ):
             self.evict(key)
+            METRICS.counter("store.get.misses").inc()
             return None
         _, decode = self.CODECS[codec]
         try:
             value = decode(data)
         except Exception:
             self.evict(key)
+            METRICS.counter("store.get.misses").inc()
             return None
         self._touch(key, meta)
+        METRICS.counter("store.get.hits").inc()
+        METRICS.counter("store.get.bytes").inc(len(data))
         return value
 
     def _touch(self, key: str, meta: Dict[str, object]) -> None:
@@ -261,6 +269,8 @@ class ResultStore:
                 pass
             except OSError:
                 return False
+        if existed:
+            METRICS.counter("store.evict.count").inc()
         return existed
 
     def clear(self) -> int:
@@ -340,6 +350,7 @@ class ResultStore:
                 removed += 1
                 n_entries -= 1
                 total_bytes -= int(meta.get("size_bytes", 0))
+        METRICS.counter("store.prune.evicted").inc(removed)
         return removed
 
     def _iter_meta_paths(self):

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.api.runner import ExperimentReport, Runner
+from repro.obs import NULL_TRACER
 from repro.store import ResultStore
 from repro.sweep.config import SweepConfig, SweepPoint
 from repro.sweep.diff import DiffEntry, structural_diff, summarize_diff
@@ -177,6 +178,7 @@ def run_sweep(
     backend: Optional[str] = None,
     workers: Optional[int] = None,
     streaming: Optional[bool] = None,
+    tracer: Optional[object] = None,
 ) -> SweepResult:
     """Execute every point of a sweep and return the collected result.
 
@@ -184,14 +186,18 @@ def run_sweep(
     of *every* point (they are bit-neutral, so the reports are unaffected).
     Caching is on by default — ``store`` picks the store (default:
     :class:`ResultStore` at the standard root, ``$REPRO_CACHE_DIR``
-    override) and ``no_cache=True`` disables it entirely.
+    override) and ``no_cache=True`` disables it entirely.  ``tracer``
+    (a :class:`repro.obs.Tracer`; default: disabled) collects one span per
+    sweep point under a ``sweep`` root, with the Runner's stage spans as
+    children — telemetry only, the reports are unaffected.
     """
     sweep.validate()
     if no_cache:
         store = None
     elif store is None:
         store = ResultStore()
-    runner = Runner(store=store)
+    tracer = NULL_TRACER if tracer is None else tracer
+    runner = Runner(store=store, tracer=tracer)
     result = SweepResult(
         sweep=sweep, store_root=None if store is None else str(store.root)
     )
@@ -199,21 +205,24 @@ def run_sweep(
     # point computes, not after earlier points burned their compute.
     points = list(sweep.points())
     sweep_start = time.perf_counter()  # repro: allow[det-wallclock] -- per-point run info (seconds), reported beside the deterministic result
-    for point in points:
-        config = point.config
-        if backend is not None:
-            config.execution.backend = backend
-        if workers is not None:
-            config.execution.workers = workers
-        if streaming is not None:
-            config.execution.streaming = streaming
-        config.validate()
-        start = time.perf_counter()  # repro: allow[det-wallclock] -- per-point run info (seconds), reported beside the deterministic result
-        report = runner.run(config)
-        result.points.append(
-            SweepPointResult(
-                point=point, report=report, seconds=time.perf_counter() - start  # repro: allow[det-wallclock] -- per-point run info (seconds), reported beside the deterministic result
+    with tracer.span("sweep", sweep_name=sweep.name, n_points=len(points)):
+        for point in points:
+            config = point.config
+            if backend is not None:
+                config.execution.backend = backend
+            if workers is not None:
+                config.execution.workers = workers
+            if streaming is not None:
+                config.execution.streaming = streaming
+            config.validate()
+            start = time.perf_counter()  # repro: allow[det-wallclock] -- per-point run info (seconds), reported beside the deterministic result
+            with tracer.span("point", label=point.label, index=point.index) as span:
+                report = runner.run(config)
+                span.set(cache_hit=bool(report.cache.get("hit")))
+            result.points.append(
+                SweepPointResult(
+                    point=point, report=report, seconds=time.perf_counter() - start  # repro: allow[det-wallclock] -- per-point run info (seconds), reported beside the deterministic result
+                )
             )
-        )
     result.seconds = time.perf_counter() - sweep_start  # repro: allow[det-wallclock] -- per-point run info (seconds), reported beside the deterministic result
     return result

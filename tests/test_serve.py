@@ -314,7 +314,15 @@ class TestBackpressure:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 urllib.request.urlopen(server.url + "/healthz", timeout=30)
             assert excinfo.value.code == 503
-            assert json.loads(excinfo.value.read())["error"]["code"] == "overloaded"
+            # Backpressure contract: a Retry-After hint and a request id,
+            # echoed in both the header and the structured body.
+            assert excinfo.value.headers["Retry-After"] == "1"
+            request_id = excinfo.value.headers["X-Request-Id"]
+            assert request_id.startswith("req-")
+            error = json.loads(excinfo.value.read())["error"]
+            assert error["code"] == "overloaded"
+            assert error["request_id"] == request_id
+            assert server.metrics.counter("serve.rejected.count").value == 1
         finally:
             gate.set()
             for worker in clients:
@@ -326,6 +334,77 @@ class TestBackpressure:
         assert len(outcomes) == 2
         for scored in outcomes:
             assert scored["image_id"] == image_id
+
+
+class TestObservability:
+    def test_responses_carry_request_ids(self, server):
+        with urllib.request.urlopen(server.url + "/healthz") as response:
+            assert response.headers["X-Request-Id"].startswith("req-")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/nope")
+        request_id = excinfo.value.headers["X-Request-Id"]
+        error = json.loads(excinfo.value.read())["error"]
+        assert error["request_id"] == request_id
+        assert request_id.startswith("req-")
+
+    def test_request_ids_are_unique_and_monotonic(self, server):
+        def rid():
+            with urllib.request.urlopen(server.url + "/healthz") as response:
+                return int(response.headers["X-Request-Id"].split("-")[1])
+
+        first, second = rid(), rid()
+        assert second > first
+
+    def test_metrics_endpoint_exposes_serving_contract(self, server, val_frames):
+        image_id, probs = val_frames[0]
+        score_frame(server.url, probs, image_id=image_id)
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(server.url + "/nope")
+        snapshot = json.loads(
+            urllib.request.urlopen(server.url + "/metrics").read()
+        )
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        counters = snapshot["counters"]
+        assert counters["serve.requests.count"] >= 2
+        assert counters["serve.requests.errors"] >= 1
+        assert counters["serve.rejected.count"] == 0
+        assert "serve.queue.depth" in snapshot["gauges"]
+        latency = snapshot["histograms"]["serve.request.latency_seconds"]
+        assert latency["count"] >= 2
+        assert sum(latency["counts"]) == latency["count"]
+        assert len(latency["counts"]) == len(latency["bounds"]) + 1
+        assert latency["min"] >= 0.0
+
+    def test_request_spans_record_method_path_and_status(self, fitted_model):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        server = ScoringServer(
+            ScoringService(fitted_model), port=0, workers=1, tracer=tracer
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            wait_until_ready(server.url)
+            urllib.request.urlopen(server.url + "/healthz").read()
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(server.url + "/nope")
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5)
+        spans = {
+            record["attrs"]["path"]: record
+            for record in tracer.records()
+            if record["name"] == "request"
+        }
+        assert spans["/healthz"]["attrs"]["status"] == 200
+        assert spans["/healthz"]["attrs"]["method"] == "GET"
+        assert spans["/nope"]["attrs"]["status"] == 404
+        assert all(
+            record["attrs"]["request_id"].startswith("req-")
+            for record in spans.values()
+        )
 
 
 def _wait_until(predicate, timeout: float = 30.0, interval: float = 0.01) -> None:
