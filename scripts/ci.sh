@@ -57,6 +57,35 @@ echo "=== sharded-runner benchmark (smoke: bitwise parity at 2 workers) ==="
 PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
     python benchmarks/bench_sharded_runner.py --smoke
 
+echo "=== distributed dispatch benchmark (smoke: parity + kill-one recovery) ==="
+PYTHONPATH="${REPO_ROOT}/benchmarks:${PYTHONPATH}" \
+    python benchmarks/bench_distributed.py --smoke
+
+echo "=== dispatch fault-injection suite ==="
+python -m pytest -q -m faults tests/test_dispatch_faults.py
+
+echo "=== distributed CLI (smoke: work queue, then kill-one-worker parity) ==="
+DIST_SERIAL_OUT="${TMP_ROOT}/dist_serial.json"
+DIST_HEALTHY_OUT="${TMP_ROOT}/dist_healthy.json"
+DIST_FAULTED_OUT="${TMP_ROOT}/dist_faulted.json"
+python -m repro run examples/configs/metaseg_small.json --output "${DIST_SERIAL_OUT}"
+python -m repro run examples/configs/metaseg_small.json \
+    --backend distributed --workers 2 --output "${DIST_HEALTHY_OUT}"
+REPRO_DISPATCH_FAULTS='[{"task": 0, "attempt": 0, "action": "kill"}]' \
+    python -m repro run examples/configs/metaseg_small.json \
+    --backend distributed --workers 2 --output "${DIST_FAULTED_OUT}"
+python - "${DIST_SERIAL_OUT}" "${DIST_HEALTHY_OUT}" "${DIST_FAULTED_OUT}" <<'PY'
+import json, sys
+serial, healthy, faulted = (json.load(open(path)) for path in sys.argv[1:])
+for label, report in (("healthy", healthy), ("kill-one", faulted)):
+    for field in ("tables", "provenance"):
+        if report[field] != serial[field]:
+            print(f"FAIL: distributed {label} run diverges from serial "
+                  f"in {field}", file=sys.stderr)
+            raise SystemExit(1)
+print("distributed smoke: healthy + kill-one-worker bitwise-equal to serial")
+PY
+
 echo "=== experiment CLI (smoke) ==="
 python -m repro list
 python -m repro run examples/configs/metaseg_small.json

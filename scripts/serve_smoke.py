@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import re
+import select
 import subprocess
 import sys
 import time
@@ -40,6 +41,26 @@ CONFIG_PATH = REPO_ROOT / "examples" / "configs" / "metaseg_serve.json"
 def fail(message: str) -> int:
     print(f"FAIL: {message}", file=sys.stderr)
     return 1
+
+
+#: Hard bound on waiting for the server's startup banner.
+STARTUP_TIMEOUT = 60.0
+
+
+def next_line(process, deadline: float):
+    """One stdout line within the deadline; ``None`` on expiry, ``""`` on EOF.
+
+    A bare ``readline()`` would block CI forever on a server that wedges
+    before printing anything; bounding the wait with ``select`` keeps every
+    read under the caller's deadline.
+    """
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        return None
+    ready, _, _ = select.select([process.stdout], [], [], remaining)
+    if not ready:
+        return None
+    return process.stdout.readline()
 
 
 def main(argv) -> int:
@@ -78,11 +99,15 @@ def main(argv) -> int:
         # The server prints "model: cache hit (...)" then "serving on URL".
         url = None
         saw_hit = False
-        deadline = time.monotonic() + 60
-        while time.monotonic() < deadline:
-            line = process.stdout.readline()
+        deadline = time.monotonic() + STARTUP_TIMEOUT
+        while True:
+            line = next_line(process, deadline)
+            if line is None:
+                return fail(
+                    f"server produced no startup output within {STARTUP_TIMEOUT:.0f}s"
+                )
             if not line:
-                break
+                break  # EOF: the server exited before announcing its URL
             sys.stdout.write(f"  server: {line}")
             if "model: cache hit" in line:
                 saw_hit = True
@@ -130,8 +155,14 @@ def main(argv) -> int:
         try:
             process.wait(timeout=15)
         except subprocess.TimeoutExpired:
+            print("serve smoke: server ignored SIGINT for 15s, killing it",
+                  file=sys.stderr)
             process.kill()
-            process.wait(timeout=15)
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                print("serve smoke: server survived SIGKILL wait; "
+                      "abandoning the process", file=sys.stderr)
     if process.returncode != 0:
         return fail(f"server exited with unexpected status {process.returncode}")
     print("serve smoke: clean shutdown")

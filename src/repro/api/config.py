@@ -173,6 +173,13 @@ class ExecutionConfig:
     aggregation path that folds per-chunk results into running accumulators
     so peak memory stays O(chunk) instead of O(dataset).
 
+    The fault-tolerance knobs apply to the ``distributed`` backend's work
+    queue (other backends ignore them): ``lease_timeout`` is how many
+    seconds a shard lease survives without a worker heartbeat before it is
+    requeued, ``max_retries`` bounds the requeues per shard before the run
+    fails with a :class:`repro.dispatch.DispatchError`, and ``backoff`` is
+    the base retry delay (doubled per attempt, jittered, capped).
+
     Every combination is bit-neutral: backends and streaming only change how
     the work is scheduled, never the numbers.
     """
@@ -180,6 +187,9 @@ class ExecutionConfig:
     backend: str = "serial"
     workers: Optional[int] = None
     streaming: bool = False
+    lease_timeout: float = 30.0
+    max_retries: int = 3
+    backoff: float = 0.05
 
     def validate(self) -> None:
         if not isinstance(self.backend, str) or not self.backend:
@@ -194,6 +204,29 @@ class ExecutionConfig:
         if not isinstance(self.streaming, bool):
             raise ConfigError(
                 f"execution: streaming must be a boolean, got {self.streaming!r}"
+            )
+        if (
+            not isinstance(self.lease_timeout, (int, float))
+            or isinstance(self.lease_timeout, bool)
+            or self.lease_timeout <= 0
+        ):
+            raise ConfigError(
+                f"execution: lease_timeout must be a number > 0 seconds, "
+                f"got {self.lease_timeout!r}"
+            )
+        if not _is_int(self.max_retries) or self.max_retries < 0:
+            raise ConfigError(
+                f"execution: max_retries must be an integer >= 0, "
+                f"got {self.max_retries!r}"
+            )
+        if (
+            not isinstance(self.backoff, (int, float))
+            or isinstance(self.backoff, bool)
+            or self.backoff < 0
+        ):
+            raise ConfigError(
+                f"execution: backoff must be a number >= 0 seconds, "
+                f"got {self.backoff!r}"
             )
 
 

@@ -488,6 +488,17 @@ class ProcessBackend(SerialBackend):
             return result["payload"]
         return result
 
+    def _compute_shards(self, worker, specs: List[Dict]) -> List:
+        """Actually compute shard specs; results in spec order.
+
+        The single seam subclasses override to change *where* shards run
+        (the ``distributed`` backend replaces the process pool with its
+        fault-tolerant work queue); everything above this call — caching,
+        trace absorption, merging — is transport-agnostic.
+        """
+        with ProcessPoolExecutor(max_workers=len(specs)) as pool:
+            return list(pool.map(worker, specs))
+
     def _map_shards(self, worker, specs: List[Dict]) -> List:
         """Run the shard specs on a process pool, results in shard order.
 
@@ -500,8 +511,7 @@ class ProcessBackend(SerialBackend):
         no process pool is spawned at all.
         """
         if self.store is None:
-            with ProcessPoolExecutor(max_workers=len(specs)) as pool:
-                computed = list(pool.map(worker, specs))
+            computed = self._compute_shards(worker, specs)
             # Shard order == input order, so child timelines merge in order.
             return [self._absorb_shard_trace(result) for result in computed]
         keys = [
@@ -512,8 +522,7 @@ class ProcessBackend(SerialBackend):
         self.shard_cache["hits"] += len(specs) - len(missing)  # repro: allow[concurrency-shared-state] -- shard futures are consumed on the parent thread only
         self.shard_cache["misses"] += len(missing)  # repro: allow[concurrency-shared-state] -- shard futures are consumed on the parent thread only
         if missing:
-            with ProcessPoolExecutor(max_workers=len(missing)) as pool:
-                computed = list(pool.map(worker, (specs[i] for i in missing)))
+            computed = self._compute_shards(worker, [specs[i] for i in missing])
             for index, result in zip(missing, computed):
                 result = self._absorb_shard_trace(result)
                 results[index] = result

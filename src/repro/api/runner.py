@@ -310,6 +310,13 @@ class Runner:
                     fits["misses"] += int(counters.get("misses", 0))
             if fits["hits"] or fits["misses"]:
                 report.cache["fits"] = fits
+        dispatch_stats = getattr(backend, "dispatch_stats", None)
+        if dispatch_stats is not None:
+            # Queue counters of the distributed backend (retries, worker
+            # losses, dedup hits ...).  ``report.cache`` is excluded from the
+            # serialised report, so the stats never perturb cache keys or
+            # stored payloads.
+            report.cache["dispatch"] = dict(dispatch_stats)
         return report
 
     def fit(self, config: Union[ExperimentConfig, Dict[str, object]]) -> FittedModel:

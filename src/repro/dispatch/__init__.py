@@ -1,0 +1,49 @@
+"""Fault-tolerant distributed dispatch: a localhost TCP work queue.
+
+The package behind ``execution_backends["distributed"]``:
+
+* :mod:`repro.dispatch.protocol` — the framed pickle wire protocol;
+* :mod:`repro.dispatch.coordinator` — the selector-driven work queue with
+  leases, heartbeats, retry/backoff, dedup, quarantine and inline fallback;
+* :mod:`repro.dispatch.worker` — the worker loop (spawned or attached via
+  ``python -m repro worker --connect host:port``);
+* :mod:`repro.dispatch.backend` — the execution backend gluing the queue
+  into the Runner;
+* :mod:`repro.dispatch.faults` — the deterministic fault-injection harness.
+"""
+
+from repro.dispatch.coordinator import Coordinator, DispatchError, STAT_NAMES
+from repro.dispatch.faults import FAULTS_ENV, FaultPlan, FaultPlanError
+from repro.dispatch.protocol import (
+    PROTOCOL_VERSION,
+    FrameBuffer,
+    ProtocolError,
+    encode_frame,
+    recv_message,
+    send_message,
+)
+from repro.dispatch.worker import (
+    KILL_EXIT_CODE,
+    WORKER_ENV,
+    is_worker_process,
+    worker_main,
+)
+
+__all__ = [
+    "Coordinator",
+    "DispatchError",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultPlanError",
+    "FrameBuffer",
+    "KILL_EXIT_CODE",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "STAT_NAMES",
+    "WORKER_ENV",
+    "encode_frame",
+    "is_worker_process",
+    "recv_message",
+    "send_message",
+    "worker_main",
+]

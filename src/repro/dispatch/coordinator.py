@@ -1,0 +1,531 @@
+"""The dispatch coordinator: a fault-tolerant localhost TCP work queue.
+
+A :class:`Coordinator` serves picklable task specs to worker processes over
+the framed pickle protocol (:mod:`repro.dispatch.protocol`) and collects
+their results, surviving every failure mode a multi-worker system has:
+
+* **worker loss** — a connection dropping while its lease is active
+  requeues the task immediately;
+* **hangs** — every lease has a deadline, renewed by worker heartbeats; a
+  worker that stops heartbeating (wedged, swapped, paused) loses the lease
+  and the task is requeued;
+* **poison shards** — a task is retried with exponential backoff and
+  deterministic jitter up to ``max_retries`` times, then quarantined: the
+  run fails with a structured :class:`DispatchError` naming the shard,
+  never a hang;
+* **stampedes** — tasks sharing a dedup key are computed once: while one is
+  leased its twins are held, and its result fans out to all of them;
+* **total worker death** — when every worker is gone (all spawned processes
+  dead, no connection open) the coordinator finishes the remaining tasks
+  inline in its own process, so a run *always* terminates with exactly the
+  serial result.
+
+The event loop is single-threaded (``selectors`` over blocking sockets, one
+``recv`` per readiness event re-assembled by :class:`FrameBuffer`), runs in
+the caller's thread, and is therefore free of shared mutable state by
+construction.  Results are returned in task-index order; because the
+payload of a task is a pure function of its spec, every retry/requeue/
+failover path is bitwise identical to computing the specs serially.
+
+Task messages carry the full spec — including the span context the
+execution backend embeds (``spec["trace"]``) — so leases propagate the
+parent trace across the socket exactly like the process backend does, and
+every retry/requeue/worker-loss event is counted both in ``self.stats``
+and on the process-wide :data:`repro.obs.METRICS` registry under
+``dispatch.*``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import selectors
+import socket
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dispatch.protocol import (
+    PROTOCOL_VERSION,
+    FrameBuffer,
+    send_message,
+)
+from repro.obs.metrics import METRICS
+
+#: Backoff delay cap (seconds): retries never wait longer than this.
+BACKOFF_CAP = 5.0
+
+#: Default idle delay told to workers when nothing is runnable right now.
+WAIT_DELAY = 0.05
+
+#: The stats counters every run reports (and mirrors to METRICS).
+STAT_NAMES = (
+    "completed", "from_workers", "inline", "dedup_hits", "retries",
+    "worker_lost", "lease_expired", "failures", "duplicates", "quarantined",
+)
+
+
+class DispatchError(RuntimeError):
+    """A task exhausted its retry budget (poison shard) or failed inline.
+
+    Carries the failing task's identity so callers (and CI logs) can name
+    the shard instead of guessing from a generic failure.
+    """
+
+    def __init__(self, task_index: int, key: Optional[str], attempts: int, reason: str) -> None:
+        self.task_index = task_index
+        self.key = key
+        self.attempts = attempts
+        self.reason = reason
+        label = f" (key {key[:12]})" if key else ""
+        super().__init__(
+            f"dispatch task {task_index}{label} failed after {attempts} "
+            f"attempt(s): {reason}"
+        )
+
+
+def resolve_callable(fn_spec: str) -> Callable:
+    """Resolve a ``"module:qualname"`` task function reference.
+
+    Workers receive functions by name, never by pickled code object, so an
+    externally attached worker runs exactly the function its own code tree
+    defines — version skew surfaces as an import/lookup error, not as
+    silently different numbers.
+    """
+    module_name, _, qualname = fn_spec.partition(":")
+    if not module_name or not qualname:
+        raise DispatchError(-1, None, 0, f"malformed task function reference {fn_spec!r}")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise DispatchError(-1, None, 0, f"task function {fn_spec!r} is not callable")
+    return obj
+
+
+def backoff_jitter(task_index: int, attempts: int) -> float:
+    """Deterministic jitter fraction in ``[0, 0.5)`` for one retry.
+
+    Derived arithmetically from (task, attempt) — no RNG, no global state —
+    so two coordinators retrying the same task desynchronise their retries
+    identically and reproducibly.
+    """
+    return ((task_index * 2654435761 + attempts * 40503) % 997) / 1994.0
+
+
+class _Connection:
+    """Per-socket state of one attached worker."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buffer = FrameBuffer()
+        self.worker_id: Optional[str] = None
+        self.handshook = False
+        self.task_index: Optional[int] = None  # current lease, if any
+        self.lease_deadline = 0.0
+        self.lease_attempt = -1
+
+
+class Coordinator:
+    """Serve task specs to workers over a localhost TCP queue; see module doc.
+
+    Parameters mirror :class:`repro.api.config.ExecutionConfig`:
+    ``lease_timeout`` (seconds a lease survives without a heartbeat),
+    ``max_retries`` (requeues before quarantine) and ``backoff`` (base
+    retry delay, doubled per attempt, capped at :data:`BACKOFF_CAP`).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 30.0,
+        max_retries: int = 3,
+        backoff: float = 0.05,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        self.lease_timeout = float(lease_timeout)
+        self.max_retries = int(max_retries)
+        self.backoff = float(backoff)
+        self.stats: Dict[str, int] = {name: 0 for name in STAT_NAMES}
+        self._listener = socket.create_server((host, port), backlog=64)
+        self._listener.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ)
+        self._connections: Dict[socket.socket, _Connection] = {}
+        self._ever_connected = False
+        self._closed = False
+        self._fn = ""
+        self._tasks: List[Dict[str, object]] = []
+        self._done = 0
+
+    # ------------------------------------------------------------------ ---
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) workers should connect to."""
+        return self._listener.getsockname()[:2]
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut every connection down and release the listening socket."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in list(self._connections.values()):
+            self._send_safe(conn, {"type": "shutdown"})
+            self._drop(conn, lost=False)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.stats[name] += n
+        METRICS.counter(f"dispatch.{name}").inc(n)
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        fn: str,
+        specs: List[Dict[str, object]],
+        keys: Optional[List[Optional[str]]] = None,
+        spawned: Optional[List[object]] = None,
+    ) -> List[object]:
+        """Dispatch every spec and return the results in spec order.
+
+        ``fn`` is a ``"module:qualname"`` reference resolved *inside* each
+        worker; ``keys`` (optional, same length) enables dedup — two specs
+        with equal keys are computed once.  ``spawned`` is the list of
+        process handles the caller launched for this run (anything with
+        ``is_alive()``); the coordinator watches them to decide when every
+        worker is gone and the remaining tasks must be finished inline.
+        """
+        if self._closed:
+            raise RuntimeError("coordinator is closed")
+        if keys is not None and len(keys) != len(specs):
+            raise ValueError("keys must be None or match specs in length")
+        tasks = [
+            {
+                "index": index,
+                "spec": spec,
+                "key": None if keys is None else keys[index],
+                "status": "pending",
+                "attempts": 0,
+                "not_before": 0.0,
+                "last_error": "",
+                "result": None,
+            }
+            for index, spec in enumerate(specs)
+        ]
+        self._fn = fn
+        self._tasks = tasks
+        self._done = 0
+        while self._done < len(tasks):
+            self._check_quarantine()
+            if self._workers_exhausted(spawned):
+                self._finish_inline()
+                break
+            timeout = self._tick_timeout()
+            for selector_key, _ in self._selector.select(timeout):
+                if selector_key.fileobj is self._listener:
+                    self._accept()
+                else:
+                    self._read(self._connections.get(selector_key.fileobj))
+            self._expire_leases()
+        self._check_quarantine()
+        results = [task["result"] for task in self._tasks]
+        # Wind down: tell idle workers to exit; their sockets close with us.
+        for conn in list(self._connections.values()):
+            if conn.task_index is None:
+                self._send_safe(conn, {"type": "shutdown"})
+        return results
+
+    # ------------------------------------------------------------- event loop
+    def _tick_timeout(self) -> float:
+        """Sleep bound for one select: the nearest deadline, capped."""
+        now = time.monotonic()  # repro: allow[det-wallclock] -- lease/backoff scheduling only, never enters results
+        horizon = now + 0.2
+        for conn in self._connections.values():
+            if conn.task_index is not None:
+                horizon = min(horizon, conn.lease_deadline)
+        for task in self._tasks:
+            if task["status"] == "pending" and task["not_before"] > now:
+                horizon = min(horizon, task["not_before"])
+        return max(0.01, horizon - now)
+
+    def _accept(self) -> None:
+        try:
+            sock, _ = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(True)
+        conn = _Connection(sock)
+        self._connections[sock] = conn
+        self._selector.register(sock, selectors.EVENT_READ)
+        self._ever_connected = True
+
+    def _read(self, conn: Optional[_Connection]) -> None:
+        if conn is None:
+            return
+        try:
+            data = conn.sock.recv(1 << 16)
+        except OSError:
+            self._drop(conn, lost=True)
+            return
+        if not data:
+            self._drop(conn, lost=True)
+            return
+        try:
+            messages = conn.buffer.feed(data)
+        except Exception:
+            # Unframeable/undecodable bytes: the peer is broken, not the run.
+            self._drop(conn, lost=True)
+            return
+        for message in messages:
+            self._handle(conn, message)
+            if conn.sock not in self._connections:
+                break
+
+    def _drop(self, conn: _Connection, lost: bool) -> None:
+        """Forget a connection; a lost one requeues its active lease."""
+        self._connections.pop(conn.sock, None)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if lost and conn.task_index is not None:
+            task = self._tasks[conn.task_index]
+            conn.task_index = None
+            if task["status"] == "leased":
+                self._count("worker_lost")
+                self._requeue(task, "worker connection lost")
+
+    def _send_safe(self, conn: _Connection, message: Dict[str, object]) -> bool:
+        try:
+            send_message(conn.sock, message)
+            return True
+        except OSError:
+            self._drop(conn, lost=True)
+            return False
+
+    # --------------------------------------------------------------- messages
+    def _handle(self, conn: _Connection, message: Dict[str, object]) -> None:
+        kind = message.get("type")
+        if not conn.handshook:
+            if kind != "hello" or message.get("version") != PROTOCOL_VERSION:
+                self._send_safe(
+                    conn,
+                    {"type": "reject", "version": PROTOCOL_VERSION,
+                     "got": message.get("version")},
+                )
+                self._drop(conn, lost=False)
+                return
+            conn.handshook = True
+            conn.worker_id = str(message.get("worker_id") or f"worker-{len(self._connections)}")
+            self._send_safe(conn, {"type": "welcome", "version": PROTOCOL_VERSION})
+            return
+        if kind == "request":
+            self._assign(conn)
+        elif kind == "heartbeat":
+            if conn.task_index is not None and message.get("task") == conn.task_index:
+                conn.lease_deadline = time.monotonic() + self.lease_timeout  # repro: allow[det-wallclock] -- lease renewal deadline, scheduling only
+        elif kind == "result":
+            self._complete(conn, message)
+        elif kind == "error":
+            self._worker_error(conn, message)
+        elif kind == "bye":
+            self._drop(conn, lost=False)
+        # Unknown message types are ignored: forward compatibility within a
+        # protocol version is additive.
+
+    def _assign(self, conn: _Connection) -> None:
+        if self._done >= len(self._tasks):
+            self._send_safe(conn, {"type": "shutdown"})
+            return
+        now = time.monotonic()  # repro: allow[det-wallclock] -- backoff gating, scheduling only
+        leased_keys = {
+            task["key"]
+            for task in self._tasks
+            if task["status"] == "leased" and task["key"] is not None
+        }
+        runnable = None
+        for task in self._tasks:
+            if task["status"] != "pending" or task["not_before"] > now:
+                continue
+            if task["key"] is not None and task["key"] in leased_keys:
+                continue  # dedup hold: its twin is already being computed
+            runnable = task
+            break
+        if runnable is None:
+            self._send_safe(conn, {"type": "wait", "seconds": WAIT_DELAY})
+            return
+        runnable["status"] = "leased"
+        runnable["attempts"] += 1
+        conn.task_index = runnable["index"]
+        conn.lease_attempt = runnable["attempts"] - 1
+        conn.lease_deadline = now + self.lease_timeout
+        self._send_safe(
+            conn,
+            {
+                "type": "task",
+                "task": runnable["index"],
+                "attempt": conn.lease_attempt,
+                "fn": self._fn,
+                "spec": runnable["spec"],
+                "heartbeat_every": self.lease_timeout / 3.0,
+            },
+        )
+
+    def _complete(self, conn: _Connection, message: Dict[str, object]) -> None:
+        index = message.get("task")
+        if (
+            not isinstance(index, int)
+            or conn.task_index != index
+            or message.get("attempt") != conn.lease_attempt
+        ):
+            self._count("duplicates")  # stale result from an expired lease
+            return
+        conn.task_index = None
+        task = self._tasks[index]
+        if task["status"] == "done":
+            self._count("duplicates")
+            return
+        self._finish_task(task, message.get("payload"), via="from_workers")
+
+    def _finish_task(self, task: Dict[str, object], payload: object, via: str) -> None:
+        task["status"] = "done"
+        task["result"] = payload
+        self._done += 1
+        self._count("completed")
+        self._count(via)
+        if task["key"] is not None:
+            # Dedup fan-out: every pending twin completes with this payload.
+            for twin in self._tasks:
+                if (
+                    twin["status"] == "pending"
+                    and twin["key"] == task["key"]
+                    and twin is not task
+                ):
+                    twin["status"] = "done"
+                    twin["result"] = payload
+                    self._done += 1
+                    self._count("completed")
+                    self._count("dedup_hits")
+
+    def _worker_error(self, conn: _Connection, message: Dict[str, object]) -> None:
+        index = message.get("task")
+        if (
+            not isinstance(index, int)
+            or conn.task_index != index
+            or message.get("attempt") != conn.lease_attempt
+        ):
+            return
+        conn.task_index = None
+        task = self._tasks[index]
+        if task["status"] != "leased":
+            return
+        self._count("failures")
+        self._requeue(task, str(message.get("error", "worker error")))
+
+    # ------------------------------------------------------ retries / leases
+    def _requeue(self, task: Dict[str, object], reason: str) -> None:
+        task["last_error"] = reason
+        if task["attempts"] > self.max_retries:
+            task["status"] = "quarantined"
+            self._count("quarantined")
+            return
+        self._count("retries")
+        delay = min(BACKOFF_CAP, self.backoff * (2 ** (task["attempts"] - 1)))
+        delay *= 1.0 + backoff_jitter(task["index"], task["attempts"])
+        task["status"] = "pending"
+        task["not_before"] = time.monotonic() + delay  # repro: allow[det-wallclock] -- retry backoff deadline, scheduling only
+
+    def _expire_leases(self) -> None:
+        now = time.monotonic()  # repro: allow[det-wallclock] -- lease expiry check, scheduling only
+        for conn in list(self._connections.values()):
+            if conn.task_index is None or now <= conn.lease_deadline:
+                continue
+            task = self._tasks[conn.task_index]
+            conn.task_index = None  # the worker keeps running; its late result is ignored
+            if task["status"] == "leased":
+                self._count("lease_expired")
+                self._requeue(task, f"lease expired after {self.lease_timeout}s without a heartbeat")
+
+    def _check_quarantine(self) -> None:
+        for task in self._tasks:
+            if task["status"] == "quarantined":
+                raise DispatchError(
+                    task["index"], task["key"], task["attempts"], task["last_error"]
+                )
+
+    # ------------------------------------------------------ inline completion
+    def _workers_exhausted(self, spawned: Optional[List[object]]) -> bool:
+        """True when no worker is left to make progress.
+
+        With spawned processes: all of them dead and no connection open.
+        Without (externally attached workers only): at least one worker came
+        and went, and none remain — a queue nobody ever joined keeps
+        waiting, because an external ``python -m repro worker`` may still be
+        on its way.
+        """
+        # Any open connection counts, handshaken or not: a worker that just
+        # connected but whose hello is still in flight must not be mistaken
+        # for "came and went".
+        if self._connections:
+            return False
+        if spawned is not None:
+            return all(not process.is_alive() for process in spawned)
+        return self._ever_connected
+
+    def _finish_inline(self) -> None:
+        """Compute every unfinished task in this process, in index order.
+
+        The task payload is a pure function of the spec, so inline results
+        are bitwise identical to worker results — graceful degradation
+        changes wall-clock, never numbers.  A task that fails inline raises
+        immediately: with no workers left there is nothing to retry on.
+        """
+        fn = resolve_callable(self._fn)
+        done_by_key: Dict[str, object] = {
+            task["key"]: task["result"]
+            for task in self._tasks
+            if task["status"] == "done" and task["key"] is not None
+        }
+        for task in self._tasks:
+            if task["status"] == "done":
+                continue
+            if task["key"] is not None and task["key"] in done_by_key:
+                self._finish_task(task, done_by_key[task["key"]], via="dedup_hits")
+                continue
+            try:
+                payload = fn(task["spec"])
+            except Exception as exc:
+                raise DispatchError(
+                    task["index"], task["key"], task["attempts"] + 1, repr(exc)
+                ) from exc
+            self._finish_task(task, payload, via="inline")
+            if task["key"] is not None:
+                done_by_key[task["key"]] = payload
+
+
+__all__ = [
+    "BACKOFF_CAP",
+    "Coordinator",
+    "DispatchError",
+    "backoff_jitter",
+    "resolve_callable",
+]

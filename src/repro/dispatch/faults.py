@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the dispatch layer.
+
+A :class:`FaultPlan` is a declarative, JSON-round-trippable list of fault
+entries that test workers consult before computing each task::
+
+    plan = FaultPlan([
+        {"worker": "w0", "attempt": 0, "action": "kill"},
+        {"task": 2, "attempt": 1, "action": "hang", "seconds": 2.0},
+    ])
+
+Each entry matches on any combination of
+
+* ``worker``  — the worker id (``None``/absent: any worker);
+* ``task``    — the task index (``None``/absent: any task);
+* ``attempt`` — when ``task`` is given, the task's attempt number
+  (0 = first try); without ``task``, the worker's own lease ordinal
+  (0 = the first task that worker ever leases).  Absent: 0.
+
+and triggers one of three actions:
+
+* ``kill``  — the worker process exits immediately (``os._exit``), before
+  any heartbeat is sent: the coordinator sees the connection drop while the
+  lease is active and requeues the task (a ``worker_lost`` event);
+* ``hang``  — the worker sleeps ``seconds`` *without heartbeating*, so the
+  lease expires and the coordinator requeues the task (``lease_expired``);
+  the worker then resumes, and its late/duplicate result is ignored;
+* ``delay`` — the worker sleeps ``seconds`` *with heartbeats running*, so
+  the lease stays alive and no retry is triggered (the control case).
+
+Keying actions on ``(task, attempt)`` — or on the worker's lease ordinal —
+rather than on a wall-clock makes every injected failure reproducible
+regardless of how the scheduler interleaves workers, which is what lets
+the fault suite assert retry/worker-loss counters *exactly*.
+
+:meth:`FaultPlan.generate` derives a random plan from a seed (via
+``np.random.default_rng``) for fuzz sweeps; plans travel to spawned workers
+by pickle and to external workers via the ``REPRO_DISPATCH_FAULTS``
+environment variable (JSON) or ``python -m repro worker --fault-plan``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+#: Environment variable carrying a JSON fault plan to workers/backends.
+FAULTS_ENV = "REPRO_DISPATCH_FAULTS"
+
+#: The injectable actions.
+ACTIONS = ("kill", "hang", "delay")
+
+
+class FaultPlanError(ValueError):
+    """A structurally invalid fault plan."""
+
+
+def _check_entry(entry: object, index: int) -> Dict[str, object]:
+    if not isinstance(entry, dict):
+        raise FaultPlanError(f"fault entry {index} must be a dict, got {entry!r}")
+    action = entry.get("action")
+    if action not in ACTIONS:
+        raise FaultPlanError(
+            f"fault entry {index}: action must be one of {ACTIONS}, got {action!r}"
+        )
+    unknown = set(entry) - {"worker", "task", "attempt", "action", "seconds"}
+    if unknown:
+        raise FaultPlanError(
+            f"fault entry {index}: unknown keys {', '.join(sorted(unknown))}"
+        )
+    seconds = entry.get("seconds", 0.0)
+    if not isinstance(seconds, (int, float)) or isinstance(seconds, bool) or seconds < 0:
+        raise FaultPlanError(
+            f"fault entry {index}: seconds must be a non-negative number"
+        )
+    return {
+        "worker": entry.get("worker"),
+        "task": entry.get("task"),
+        "attempt": int(entry.get("attempt", 0)),
+        "action": str(action),
+        "seconds": float(seconds),
+    }
+
+
+class FaultPlan:
+    """An ordered list of fault entries; first match wins."""
+
+    def __init__(self, entries: Optional[List[Dict[str, object]]] = None) -> None:
+        self.entries = [
+            _check_entry(entry, index) for index, entry in enumerate(entries or [])
+        ]
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.entries!r})"
+
+    def action_for(
+        self,
+        worker_id: str,
+        task_index: int,
+        attempt: int,
+        lease_ordinal: int,
+    ) -> Optional[Dict[str, object]]:
+        """The first entry matching this lease, or ``None``.
+
+        ``attempt`` is the task's retry count (0-based); ``lease_ordinal``
+        is how many tasks this worker has leased before this one.  Entries
+        with a ``task`` match on ``(task, attempt)``; task-less entries
+        match on the worker's own lease ordinal, which is what lets a plan
+        say "this worker dies on its first task, whichever task that is".
+        """
+        for entry in self.entries:
+            if entry["worker"] is not None and entry["worker"] != worker_id:
+                continue
+            if entry["task"] is not None:
+                if entry["task"] != task_index or entry["attempt"] != attempt:
+                    continue
+            elif entry["attempt"] != lease_ordinal:
+                continue
+            return entry
+        return None
+
+    # ------------------------------------------------------- (de)serialisation
+    def to_json(self) -> str:
+        return json.dumps(self.entries, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            entries = json.loads(text)
+        except ValueError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+        if not isinstance(entries, list):
+            raise FaultPlanError("a fault plan is a JSON list of entries")
+        return cls(entries)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan carried by ``$REPRO_DISPATCH_FAULTS``, or ``None``."""
+        text = (environ if environ is not None else os.environ).get(FAULTS_ENV)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------- generation
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_tasks: int,
+        n_workers: int,
+        n_faults: int = 2,
+        max_attempt: int = 1,
+        hang_seconds: float = 2.0,
+        delay_seconds: float = 0.05,
+    ) -> "FaultPlan":
+        """A seeded random plan for fuzz sweeps (deterministic per seed)."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        entries: List[Dict[str, object]] = []
+        for _ in range(n_faults):
+            action = ACTIONS[int(rng.integers(len(ACTIONS)))]
+            entry: Dict[str, object] = {"action": action}
+            if rng.integers(2):
+                entry["worker"] = f"w{int(rng.integers(n_workers))}"
+                entry["attempt"] = 0
+            else:
+                entry["task"] = int(rng.integers(n_tasks))
+                entry["attempt"] = int(rng.integers(max_attempt + 1))
+            if action == "hang":
+                entry["seconds"] = hang_seconds
+            elif action == "delay":
+                entry["seconds"] = delay_seconds
+            entries.append(entry)
+        return cls(entries)
+
+
+__all__ = ["ACTIONS", "FAULTS_ENV", "FaultPlan", "FaultPlanError"]

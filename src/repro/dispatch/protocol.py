@@ -1,0 +1,164 @@
+"""Framed pickle wire protocol of the dispatch work queue.
+
+Coordinator and workers exchange plain-dict messages over a localhost TCP
+connection.  Every message is one *frame*: an 8-byte big-endian unsigned
+length prefix followed by the pickled dict.  Framing makes the stream
+self-delimiting, so the coordinator's selector loop can read whatever the
+kernel hands it and let :class:`FrameBuffer` re-assemble message boundaries.
+
+The first frame in each direction is the version handshake: the worker
+sends ``{"type": "hello", "version": PROTOCOL_VERSION, ...}`` and the
+coordinator answers ``welcome`` (accepted) or ``reject`` (version mismatch,
+with the expected version) — a worker from a different code version fails
+fast with a :class:`ProtocolError` instead of corrupting a run with
+incompatibly-pickled payloads.
+
+Message vocabulary (``"type"`` field):
+
+===========  ==========  ====================================================
+type         direction   meaning
+===========  ==========  ====================================================
+hello        w -> c      handshake: protocol version, worker id, pid
+welcome      c -> w      handshake accepted
+reject       c -> w      version mismatch; connection will be closed
+request      w -> c      worker is idle and wants a task
+task         c -> w      one work item: task id, attempt, fn, spec, lease
+wait         c -> w      nothing runnable right now; re-request after delay
+heartbeat    w -> c      lease renewal for the named task
+result       w -> c      task payload (success)
+error        w -> c      task raised; message carries the formatted error
+shutdown     c -> w      no work left; worker should exit cleanly
+===========  ==========  ====================================================
+
+Trust model: frames are pickled, so the queue must only ever bind to
+localhost and only accept workers it trusts — the same trust boundary as
+the on-disk result cache, which is also pickle-backed.  The coordinator
+binds ``127.0.0.1`` by default and never listens on public interfaces.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Dict, List, Optional
+
+#: Bump on any incompatible change to the message vocabulary or framing.
+PROTOCOL_VERSION = 1
+
+#: Frame header: one 8-byte big-endian unsigned payload length.
+_HEADER = struct.Struct(">Q")
+
+#: Upper bound on a single frame (guards against a corrupt/hostile length
+#: prefix allocating unbounded memory).  Shard payloads are metrics tables,
+#: well under this.
+MAX_FRAME_BYTES = 1 << 31
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame, truncated stream or handshake failure."""
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """One message as its on-wire bytes (header + pickled dict)."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"message of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def send_message(sock, message: Dict[str, object]) -> None:
+    """Send one framed message over a connected socket (blocking)."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock, n_bytes: int) -> Optional[bytes]:
+    """Read exactly *n_bytes*; ``None`` on clean EOF before the first byte.
+
+    EOF in the *middle* of a frame is a truncation and raises — the peer
+    died mid-send, and pretending the stream ended cleanly would silently
+    drop a message.
+    """
+    chunks: List[bytes] = []
+    received = 0
+    while received < n_bytes:
+        chunk = sock.recv(min(65536, n_bytes - received))
+        if not chunk:
+            if received == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({received}/{n_bytes} bytes)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock) -> Optional[Dict[str, object]]:
+    """Receive one framed message (blocking); ``None`` on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the cap")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between frame header and body")
+    message = pickle.loads(body)
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frames must decode to dicts, got {type(message).__name__}")
+    return message
+
+
+class FrameBuffer:
+    """Incremental frame re-assembly for non-blocking reads.
+
+    The coordinator's selector loop reads whatever bytes are available and
+    feeds them here; :meth:`feed` returns every *complete* message those
+    bytes finished, keeping any trailing partial frame buffered for the next
+    read.  One buffer per connection.
+    """
+
+    def __init__(self) -> None:
+        self._pending = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, object]]:
+        """Absorb raw bytes; return the messages they completed (in order)."""
+        self._pending.extend(data)
+        messages: List[Dict[str, object]] = []
+        while True:
+            if len(self._pending) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack(bytes(self._pending[: _HEADER.size]))
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"frame length {length} exceeds the cap")
+            end = _HEADER.size + length
+            if len(self._pending) < end:
+                break
+            body = bytes(self._pending[_HEADER.size:end])
+            del self._pending[:end]
+            message = pickle.loads(body)
+            if not isinstance(message, dict):
+                raise ProtocolError(
+                    f"frames must decode to dicts, got {type(message).__name__}"
+                )
+            messages.append(message)
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next (incomplete) frame."""
+        return len(self._pending)
+
+
+__all__ = [
+    "FrameBuffer",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_frame",
+    "recv_message",
+    "send_message",
+]

@@ -1,0 +1,199 @@
+"""The dispatch worker: connect, lease tasks, heartbeat, compute, repeat.
+
+A worker is a plain loop over the queue protocol
+(:mod:`repro.dispatch.protocol`): handshake, then *request → task →
+compute → result* until the coordinator says ``shutdown`` (or the
+connection drops).  Workers are started two ways:
+
+* **spawned** — the distributed execution backend launches
+  ``worker_main`` in ``multiprocessing`` children for the configured
+  worker count;
+* **attached** — any machine-local process can join a running queue with
+  ``python -m repro worker --connect HOST:PORT`` and the coordinator
+  treats it exactly like a spawned one (the task function travels by
+  ``module:qualname`` reference, so the worker runs its own code tree).
+
+While a task computes, a daemon heartbeat thread renews the lease at the
+interval the coordinator asked for; all socket sends are serialised
+through one lock so heartbeat frames never interleave with result frames.
+Workers set ``$REPRO_DISPATCH_WORKER`` so any nested distributed backend
+inside the task degrades to inline serial execution instead of recursively
+fanning out.
+
+A :class:`~repro.dispatch.faults.FaultPlan` (argument, or the
+``$REPRO_DISPATCH_FAULTS`` environment variable) makes the worker
+deterministically kill/hang/delay itself at specific leases — the
+fault-injection harness the dispatch tests and CI smokes are built on.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Optional
+
+from repro.dispatch.coordinator import resolve_callable
+from repro.dispatch.faults import FaultPlan
+from repro.dispatch.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
+
+#: Set in every worker process; the distributed backend reads it to degrade
+#: to inline serial execution instead of recursively fanning out.
+WORKER_ENV = "REPRO_DISPATCH_WORKER"
+
+#: Exit code of a fault-injected ``kill`` (distinguishable from crashes).
+KILL_EXIT_CODE = 17
+
+
+class _Heartbeat:
+    """Daemon thread renewing one task's lease until stopped."""
+
+    def __init__(
+        self, sock: socket.socket, lock: threading.Lock, task_index: int, interval: float
+    ) -> None:
+        self._sock = sock
+        self._lock = lock
+        self._task_index = task_index
+        self._interval = max(0.01, float(interval))
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{task_index}", daemon=True
+        )
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with self._lock:
+                    send_message(
+                        self._sock, {"type": "heartbeat", "task": self._task_index}
+                    )
+            except OSError:
+                return  # coordinator is gone; the main loop will notice too
+
+
+def worker_main(
+    host: str,
+    port: int,
+    worker_id: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    connect_timeout: float = 30.0,
+) -> int:
+    """Run one worker against the coordinator at ``host:port``; exit code.
+
+    Returns 0 on a clean shutdown, 1 when the coordinator disappears or
+    rejects the handshake.  ``fault_plan`` defaults to the plan carried by
+    ``$REPRO_DISPATCH_FAULTS`` (used by the CI fault smokes).
+    """
+    worker_id = worker_id or f"pid{os.getpid()}"
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    os.environ[WORKER_ENV] = "1"
+    try:
+        sock = socket.create_connection((host, port), timeout=connect_timeout)
+    except OSError as exc:
+        print(f"worker {worker_id}: cannot connect to {host}:{port}: {exc}")
+        return 1
+    sock.settimeout(None)
+    lock = threading.Lock()
+    try:
+        with lock:
+            send_message(
+                sock,
+                {
+                    "type": "hello",
+                    "version": PROTOCOL_VERSION,
+                    "worker_id": worker_id,
+                    "pid": os.getpid(),
+                },
+            )
+        welcome = recv_message(sock)
+        if welcome is None or welcome.get("type") != "welcome":
+            raise ProtocolError(
+                f"coordinator rejected worker {worker_id!r}: "
+                f"{'connection closed' if welcome is None else welcome}"
+            )
+        lease_ordinal = 0
+        while True:
+            with lock:
+                send_message(sock, {"type": "request", "worker_id": worker_id})
+            message = recv_message(sock)
+            if message is None or message.get("type") == "shutdown":
+                return 0
+            kind = message.get("type")
+            if kind == "wait":
+                time.sleep(float(message.get("seconds", 0.05)))
+                continue
+            if kind != "task":
+                continue
+            index = int(message["task"])
+            attempt = int(message["attempt"])
+            action = None
+            if fault_plan:
+                action = fault_plan.action_for(worker_id, index, attempt, lease_ordinal)
+            lease_ordinal += 1
+            if action is not None and action["action"] == "kill":
+                # Simulated crash: no goodbye, no flush — the coordinator
+                # must recover purely from the connection dropping.
+                os._exit(KILL_EXIT_CODE)
+            if action is not None and action["action"] == "hang":
+                # Simulated wedge: sleep with NO heartbeats so the lease
+                # genuinely expires; then resume (the late result exercises
+                # the coordinator's duplicate handling).
+                time.sleep(action["seconds"])
+            with _Heartbeat(sock, lock, index, float(message.get("heartbeat_every", 1.0))):
+                try:
+                    if action is not None and action["action"] == "delay":
+                        # Slow-but-healthy: heartbeats keep the lease alive.
+                        time.sleep(action["seconds"])
+                    fn = resolve_callable(str(message["fn"]))
+                    payload = fn(message["spec"])
+                except Exception as exc:
+                    with lock:
+                        send_message(
+                            sock,
+                            {
+                                "type": "error",
+                                "task": index,
+                                "attempt": attempt,
+                                "error": repr(exc),
+                                "traceback": traceback.format_exc(),
+                            },
+                        )
+                    continue
+            with lock:
+                send_message(
+                    sock,
+                    {"type": "result", "task": index, "attempt": attempt,
+                     "payload": payload},
+                )
+    except (OSError, ProtocolError) as exc:
+        print(f"worker {worker_id}: {exc}")
+        return 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def is_worker_process() -> bool:
+    """True inside a dispatch worker (used to suppress nested fan-out)."""
+    return bool(os.environ.get(WORKER_ENV))
+
+
+__all__ = ["KILL_EXIT_CODE", "WORKER_ENV", "is_worker_process", "worker_main"]

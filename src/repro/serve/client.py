@@ -8,12 +8,23 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import time
 import urllib.error
 import urllib.request
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: Connect/read timeout applied when callers pass ``timeout=None`` — a
+#: client helper must never hang forever on a wedged server.
+DEFAULT_TIMEOUT = 60.0
+
+#: Exponential-backoff base (seconds) for opt-in 503 retries.
+RETRY_BACKOFF_BASE = 0.25
+
+#: Cap on any single retry delay, including server-suggested ``Retry-After``.
+RETRY_BACKOFF_CAP = 10.0
 
 
 def npy_bytes(array: np.ndarray) -> bytes:
@@ -30,32 +41,99 @@ def npz_bytes(frames: Sequence[Tuple[str, np.ndarray]]) -> bytes:
     return buffer.getvalue()
 
 
+def _jitter_fraction() -> float:
+    """Retry jitter in ``[0, 0.5)`` drawn from ``os.urandom``.
+
+    Backoff desynchronisation wants real entropy and must not touch any
+    seeded RNG stream (or the stdlib global RNG) — wall-clock scheduling
+    noise never enters scored results.
+    """
+    return int.from_bytes(os.urandom(2), "big") / 131072.0
+
+
+def _retry_delay(attempt: int, retry_after: Optional[str]) -> float:
+    """Seconds to sleep before retry *attempt* (0-based).
+
+    A parseable ``Retry-After`` header is honoured (the server knows its
+    queue better than we do), otherwise exponential backoff from
+    :data:`RETRY_BACKOFF_BASE`; either way the delay is capped at
+    :data:`RETRY_BACKOFF_CAP` and jittered up to +50%.
+    """
+    delay = None
+    if retry_after is not None:
+        try:
+            delay = float(retry_after)
+        except ValueError:
+            delay = None
+    if delay is None or delay < 0:
+        delay = RETRY_BACKOFF_BASE * (2 ** attempt)
+    return min(RETRY_BACKOFF_CAP, delay) * (1.0 + _jitter_fraction())
+
+
+def _is_torn_connection(reason: object) -> bool:
+    """True when a URLError wraps the server closing the socket on us."""
+    return isinstance(reason, (BrokenPipeError, ConnectionResetError))
+
+
 def _request(
     url: str,
     data: Optional[bytes] = None,
     headers: Optional[Dict[str, str]] = None,
-    timeout: float = 60.0,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    retries: int = 0,
 ) -> Dict[str, object]:
-    request = urllib.request.Request(url, data=data, headers=headers or {})
-    with urllib.request.urlopen(request, timeout=timeout) as response:
-        return json.loads(response.read().decode("utf-8"))
+    """One JSON request; opt-in retry (``retries`` > 0) on 503 backpressure.
+
+    ``timeout=None`` is normalised to :data:`DEFAULT_TIMEOUT` — the helpers
+    never wait forever on a connect or read.  Retries cover 503 (the
+    server's explicit "try again later") and connections the server tears
+    down mid-request (broken pipe / reset): a backpressuring server that
+    rejects at accept time closes the socket while a large body is still in
+    flight, which surfaces client-side as ``URLError(EPIPE)`` rather than a
+    readable 503 response.  Every other failure propagates immediately.
+    """
+    if timeout is None:
+        timeout = DEFAULT_TIMEOUT
+    attempt = 0
+    while True:
+        request = urllib.request.Request(url, data=data, headers=headers or {})
+        retry_after: Optional[str] = None
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            if exc.code != 503 or attempt >= retries:
+                raise
+            retry_after = exc.headers.get("Retry-After") if exc.headers else None
+            exc.close()
+        except urllib.error.URLError as exc:
+            if attempt >= retries or not _is_torn_connection(exc.reason):
+                raise
+        time.sleep(_retry_delay(attempt, retry_after))
+        attempt += 1
 
 
-def health(base_url: str, timeout: float = 60.0) -> Dict[str, object]:
+def health(
+    base_url: str, timeout: Optional[float] = DEFAULT_TIMEOUT, retries: int = 0
+) -> Dict[str, object]:
     """GET /healthz."""
-    return _request(f"{base_url.rstrip('/')}/healthz", timeout=timeout)
+    return _request(
+        f"{base_url.rstrip('/')}/healthz", timeout=timeout, retries=retries
+    )
 
 
 def score_frame(
     base_url: str,
     probs: np.ndarray,
     image_id: Optional[str] = None,
-    timeout: float = 60.0,
+    timeout: Optional[float] = DEFAULT_TIMEOUT,
+    retries: int = 0,
 ) -> Dict[str, object]:
     """POST one softmax field as npy bytes; returns the scored frame dict.
 
     The server always answers with a ``{"frames": [...], "n_frames": N}``
-    envelope; this helper unwraps the single frame.
+    envelope; this helper unwraps the single frame.  ``retries`` opts into
+    backoff-with-jitter retries on 503 backpressure responses.
     """
     headers = {"Content-Type": "application/x-npy"}
     if image_id is not None:
@@ -65,6 +143,7 @@ def score_frame(
         data=npy_bytes(probs),
         headers=headers,
         timeout=timeout,
+        retries=retries,
     )
     return response["frames"][0]
 
@@ -72,7 +151,8 @@ def score_frame(
 def score_batch(
     base_url: str,
     frames: Sequence[Tuple[str, np.ndarray]],
-    timeout: float = 120.0,
+    timeout: Optional[float] = 120.0,
+    retries: int = 0,
 ) -> Dict[str, object]:
     """POST a batch of frames as an npz archive; returns the response dict."""
     return _request(
@@ -80,6 +160,7 @@ def score_batch(
         data=npz_bytes(frames),
         headers={"Content-Type": "application/x-npz"},
         timeout=timeout,
+        retries=retries,
     )
 
 
@@ -99,6 +180,9 @@ def wait_until_ready(
 
 
 __all__ = [
+    "DEFAULT_TIMEOUT",
+    "RETRY_BACKOFF_BASE",
+    "RETRY_BACKOFF_CAP",
     "health",
     "npy_bytes",
     "npz_bytes",

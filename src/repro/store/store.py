@@ -200,9 +200,26 @@ class ResultStore:
         payload_path = self._payload_path(key)
         meta_path = self._meta_path(key)
         try:
-            meta = json.loads(meta_path.read_text())
+            meta_text = meta_path.read_text()
+        except FileNotFoundError:
+            # Plain miss: nothing committed (the sidecar is the commit
+            # marker and it is written last).  Evicting here would race a
+            # concurrent put of the same key — a miss read before the
+            # publish must not destroy the entry right after it lands.
+            METRICS.counter("store.get.misses").inc()
+            return None
+        except OSError:
+            self.evict(key)
+            METRICS.counter("store.get.misses").inc()
+            return None
+        try:
+            meta = json.loads(meta_text)
             data = payload_path.read_bytes()
         except (OSError, ValueError):
+            # Committed but broken (unreadable sidecar JSON, or a payload
+            # missing behind a live sidecar — an interrupted evict): safe
+            # to self-heal, because put writes the payload before the
+            # sidecar, so a readable sidecar never means publish-in-flight.
             self.evict(key)
             METRICS.counter("store.get.misses").inc()
             return None
@@ -237,16 +254,182 @@ class ResultStore:
         meta = dict(meta)
         meta["last_access_unix"] = time.time()  # repro: allow[det-wallclock] -- LRU last-access bookkeeping, excluded from keys and payloads
         try:
+            if not self._payload_path(key).exists():
+                # A concurrent evict/prune removed the entry between our
+                # payload read and now (payload goes first, sidecar second).
+                # Rewriting the sidecar here would resurrect a ghost entry
+                # with no payload behind it — skip the stamp instead.
+                return
             _atomic_write_bytes(
                 self._meta_path(key),
                 (json.dumps(meta, sort_keys=True, indent=2) + "\n").encode("ascii"),
             )
+            if not self._payload_path(key).exists():
+                # The eviction raced us between the check above and the
+                # write: undo the resurrection.
+                self._meta_path(key).unlink(missing_ok=True)
         except OSError:
             pass
 
     def __contains__(self, key: str) -> bool:
         self._check_key(key)
         return self._meta_path(key).exists() and self._payload_path(key).exists()
+
+    # ----------------------------------------------------------- single-flight
+    #
+    # Lock files under <root>/locks/<key>.lock make computation single-flight
+    # across processes: whoever creates the lock (O_CREAT|O_EXCL, atomic on
+    # every filesystem that matters) computes; everyone else waits for the
+    # entry to appear and re-reads.  The lock records the claimant's pid so a
+    # dead producer's lock can be broken by any waiter, and waiting is always
+    # bounded — a waiter that times out (or finds a released-but-unpublished
+    # key) falls back to computing itself, so single-flight can duplicate
+    # work under crashes but can never deadlock or lose it.
+
+    def _lock_path(self, key: str) -> Path:
+        return self.root / "locks" / f"{key}.lock"
+
+    @staticmethod
+    def _lock_is_stale(lock_path: Path) -> bool:
+        """True when the lock's recorded producer process is gone.
+
+        An unreadable lock (claimant crashed between create and write, or a
+        concurrent unlink) is *not* reported stale — waiters handle that via
+        their timeout instead of fighting over a lock they cannot attribute.
+        """
+        try:
+            info = json.loads(lock_path.read_text())
+            pid = int(info["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except (PermissionError, OSError):
+            return False  # exists but owned elsewhere; treat as alive
+        return False
+
+    def try_claim(self, key: str) -> bool:
+        """Atomically claim *key* for computation; ``True`` when we hold it.
+
+        A claim left by a process that no longer exists is broken and
+        re-contended.  The holder must :meth:`release` when done (success or
+        failure) — typically via ``try/finally``.
+        """
+        self._check_key(key)
+        lock_path = self._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        record = json.dumps(
+            {"pid": os.getpid(), "created_unix": time.time()}  # repro: allow[det-wallclock] -- lock bookkeeping, never enters keys or payloads
+        )
+        for _ in range(8):  # bounded re-contention after breaking stale locks
+            try:
+                fd = os.open(str(lock_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._lock_is_stale(lock_path):
+                    METRICS.counter("store.singleflight.stale_broken").inc()
+                    try:
+                        lock_path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                return False
+            except OSError:
+                return False
+            with os.fdopen(fd, "w") as handle:
+                handle.write(record)
+            METRICS.counter("store.singleflight.claims").inc()
+            return True
+        return False
+
+    def release(self, key: str) -> bool:
+        """Release a claim taken with :meth:`try_claim` (idempotent)."""
+        self._check_key(key)
+        lock_path = self._lock_path(key)
+        try:
+            info = json.loads(lock_path.read_text())
+            if int(info.get("pid", -1)) != os.getpid():
+                return False  # not ours (already broken and re-claimed)
+        except (OSError, ValueError, TypeError):
+            return False
+        try:
+            lock_path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def wait_for(
+        self,
+        key: str,
+        codec: str = "json",
+        timeout: float = 120.0,
+        poll: float = 0.05,
+    ) -> Optional[object]:
+        """Wait for another process to publish *key*; the value or ``None``.
+
+        Returns as soon as the entry appears, or ``None`` when the claim
+        disappears without a publication (the producer failed/crashed) or
+        the timeout expires — in both cases the caller should compute the
+        value itself.
+        """
+        self._check_key(key)
+        lock_path = self._lock_path(key)
+        deadline = time.monotonic() + max(0.0, timeout)  # repro: allow[det-wallclock] -- wait deadline, scheduling only
+        while True:
+            value = self.get(key, codec=codec)
+            if value is not None:
+                return value
+            if not lock_path.exists() or self._lock_is_stale(lock_path):
+                # Released (or the producer died) without publishing: one
+                # final re-read closes the release-after-publish race, then
+                # the caller takes over.
+                return self.get(key, codec=codec)
+            if time.monotonic() >= deadline:  # repro: allow[det-wallclock] -- wait deadline, scheduling only
+                return None
+            time.sleep(poll)
+
+    def get_or_compute(
+        self,
+        key: str,
+        compute,
+        codec: str = "json",
+        provenance: Optional[Dict[str, object]] = None,
+        timeout: float = 120.0,
+    ):
+        """Return the cached value, computing (and publishing) it at most
+        once across concurrent callers.
+
+        N concurrent callers of the same *key* produce exactly one
+        ``compute()`` in the healthy case: one claims and computes, the rest
+        wait and re-read.  A waiter whose producer dies computes as a
+        fallback (duplicated work beats a lost run).  ``compute`` must not
+        return ``None`` — the store reserves it for misses.
+        """
+        value = self.get(key, codec=codec)
+        if value is not None:
+            METRICS.counter("store.singleflight.hits").inc()
+            return value
+        if self.try_claim(key):
+            try:
+                # Re-check under the lock: the previous holder may have
+                # published between our miss and our claim.
+                value = self.get(key, codec=codec)
+                if value is None:
+                    METRICS.counter("store.singleflight.computes").inc()
+                    value = compute()
+                    self.put(key, value, codec=codec, provenance=provenance)
+                return value
+            finally:
+                self.release(key)
+        value = self.wait_for(key, codec=codec, timeout=timeout)
+        if value is not None:
+            METRICS.counter("store.singleflight.waits").inc()
+            return value
+        METRICS.counter("store.singleflight.rescues").inc()
+        value = compute()
+        self.put(key, value, codec=codec, provenance=provenance)
+        return value
 
     # ------------------------------------------------------------- management
     def evict(self, key: str) -> bool:
@@ -283,6 +466,7 @@ class ResultStore:
         """
         removed = len(self.entries())
         shutil.rmtree(self.root / "objects", ignore_errors=True)
+        shutil.rmtree(self.root / "locks", ignore_errors=True)
         return removed
 
     def entries(self) -> List[Dict[str, object]]:

@@ -58,6 +58,12 @@ class TestValidation:
             ("execution", {"backend": ""}, "backend"),
             ("execution", {"workers": -2}, "workers"),
             ("execution", {"streaming": "yes"}, "streaming"),
+            ("execution", {"lease_timeout": 0}, "lease_timeout"),
+            ("execution", {"lease_timeout": True}, "lease_timeout"),
+            ("execution", {"max_retries": -1}, "max_retries"),
+            ("execution", {"max_retries": 1.5}, "max_retries"),
+            ("execution", {"backoff": -0.1}, "backoff"),
+            ("execution", {"backoff": "fast"}, "backoff"),
             ("meta_models", {"classifiers": []}, "at least one classifier"),
             ("meta_models", {"classification_penalty": -1.0}, "penalties"),
             ("evaluation", {"n_runs": 0}, "n_runs"),
@@ -104,6 +110,9 @@ class TestParseTimeValidation:
             ("execution", {"workers": True}, "execution: workers"),
             ("execution", {"backend": ""}, "execution: backend"),
             ("execution", {"streaming": 3}, "execution: streaming"),
+            ("execution", {"lease_timeout": -1}, "execution: lease_timeout"),
+            ("execution", {"max_retries": "many"}, "execution: max_retries"),
+            ("execution", {"backoff": True}, "execution: backoff"),
         ],
     )
     def test_bad_execution_numbers_fail_at_parse_time(self, section, payload, fragment):
@@ -127,6 +136,20 @@ class TestParseTimeValidation:
         assert config.execution.backend == "process"
         rebuilt = ExperimentConfig.from_json(config.to_json())
         assert rebuilt == config
+
+    def test_dispatch_fields_round_trip_with_defaults(self):
+        config = ExperimentConfig.from_dict({"execution": {"backend": "distributed"}})
+        assert config.execution.lease_timeout == 30.0
+        assert config.execution.max_retries == 3
+        assert config.execution.backoff == 0.05
+        tuned = ExperimentConfig.from_dict(
+            {"execution": {"backend": "distributed", "workers": 2,
+                           "lease_timeout": 0.5, "max_retries": 1, "backoff": 0.01}}
+        )
+        tuned.validate()
+        rebuilt = ExperimentConfig.from_json(tuned.to_json())
+        assert rebuilt == tuned
+        assert rebuilt.execution.lease_timeout == 0.5
 
 
 class TestSerialisation:

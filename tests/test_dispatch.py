@@ -1,0 +1,412 @@
+"""Tests for repro.dispatch: protocol, coordinator, workers and the backend.
+
+The dispatch layer's acceptance criterion mirrors the execution layer's:
+the ``distributed`` backend must be **bitwise identical** to serial on all
+three experiment kinds, under every failure mode.  This module covers the
+healthy paths plus the structural failure modes (dedup, poison-shard
+quarantine, inline degradation, version handshake); the seeded
+kill/hang/delay plans live in ``test_dispatch_faults.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.config import ExperimentConfig
+from repro.api.registry import EXECUTION_BACKENDS
+from repro.api.runner import Runner
+from repro.dispatch import (
+    Coordinator,
+    DispatchError,
+    FrameBuffer,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    recv_message,
+    send_message,
+    worker_main,
+)
+from repro.dispatch.coordinator import backoff_jitter, resolve_callable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TINY_HEIGHT = 48
+TINY_WIDTH = 96
+
+
+def metaseg_payload(seed: int) -> dict:
+    return {
+        "kind": "metaseg", "seed": seed,
+        "data": {"dataset": "cityscapes_like", "n_val": 5,
+                 "height": TINY_HEIGHT, "width": TINY_WIDTH},
+        "evaluation": {"n_runs": 2},
+    }
+
+
+def timedynamic_payload(seed: int) -> dict:
+    return {
+        "kind": "timedynamic", "seed": seed,
+        "data": {"dataset": "kitti_like", "n_sequences": 2, "n_frames": 5,
+                 "labeled_stride": 2, "height": TINY_HEIGHT, "width": TINY_WIDTH},
+        "meta_models": {
+            "classifiers": ["gradient_boosting"],
+            "regressors": ["gradient_boosting"],
+            "model_params": {"gradient_boosting": {"n_estimators": 4, "max_depth": 2}},
+        },
+        "evaluation": {"n_runs": 1, "n_frames_list": [0, 1], "compositions": ["R"]},
+    }
+
+
+def decision_payload(seed: int) -> dict:
+    return {
+        "kind": "decision", "seed": seed,
+        "data": {"dataset": "cityscapes_like", "n_train": 4, "n_val": 4,
+                 "height": TINY_HEIGHT, "width": TINY_WIDTH},
+    }
+
+
+PAYLOADS = {
+    "metaseg": metaseg_payload,
+    "timedynamic": timedynamic_payload,
+    "decision": decision_payload,
+}
+
+
+def run_with_execution(payload: dict, execution: dict):
+    config = ExperimentConfig.from_dict({**payload, "execution": execution})
+    return Runner().run(config)
+
+
+def assert_reports_identical(left, right, context: str):
+    assert left.tables == right.tables, f"{context}: tables differ"
+    assert left.provenance == right.provenance, f"{context}: provenance differs"
+
+
+# Task functions for direct Coordinator tests.  Module-level so they resolve
+# as "test_dispatch:<name>" inside fork-spawned workers (the test module is
+# already in sys.modules when the worker forks).
+def _square(spec):
+    return spec["x"] * spec["x"]
+
+
+def _poison(spec):
+    raise ValueError(f"poison task {spec['x']}")
+
+
+def _spawn_workers(coordinator, n, fault_plan=None):
+    context = multiprocessing.get_context("fork")
+    host, port = coordinator.address
+    spawned = []
+    for index in range(n):
+        process = context.Process(
+            target=worker_main,
+            args=(host, port),
+            kwargs={"worker_id": f"w{index}", "fault_plan": fault_plan},
+            daemon=True,
+        )
+        process.start()
+        spawned.append(process)
+    return spawned
+
+
+def _reap(spawned):
+    for process in spawned:
+        process.join(timeout=10.0)
+    for process in spawned:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=10.0)
+
+
+# ----------------------------------------------------------------- protocol --
+class TestProtocol:
+    def test_send_recv_round_trip(self):
+        left, right = socket.socketpair()
+        try:
+            message = {"type": "task", "task": 3, "payload": [1.5, {"a": b"bytes"}]}
+            send_message(left, message)
+            assert recv_message(right) == message
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_none_on_clean_eof(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_message(right) is None
+        finally:
+            right.close()
+
+    def test_recv_raises_on_mid_frame_eof(self):
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame({"type": "request"})
+            left.sendall(frame[: len(frame) - 2])
+            left.close()
+            with pytest.raises(ProtocolError):
+                recv_message(right)
+        finally:
+            right.close()
+
+    def test_frame_buffer_byte_by_byte(self):
+        messages = [{"type": "request", "i": i} for i in range(3)]
+        stream = b"".join(encode_frame(m) for m in messages)
+        buffer = FrameBuffer()
+        decoded = []
+        for offset in range(len(stream)):
+            decoded.extend(buffer.feed(stream[offset:offset + 1]))
+        assert decoded == messages
+        assert buffer.pending_bytes == 0
+
+    def test_frame_buffer_multiple_frames_in_one_feed(self):
+        messages = [{"a": 1}, {"b": 2}]
+        stream = b"".join(encode_frame(m) for m in messages)
+        assert FrameBuffer().feed(stream) == messages
+
+    def test_frame_cap_rejected(self):
+        buffer = FrameBuffer()
+        huge = (1 << 62).to_bytes(8, "big")
+        with pytest.raises(ProtocolError):
+            buffer.feed(huge + b"x")
+
+    def test_non_dict_frame_rejected(self):
+        body = pickle.dumps([1, 2, 3])
+        frame = len(body).to_bytes(8, "big") + body
+        with pytest.raises(ProtocolError):
+            FrameBuffer().feed(frame)
+
+
+# -------------------------------------------------------------- coordinator --
+class TestCoordinatorPrimitives:
+    def test_resolve_callable(self):
+        assert resolve_callable("builtins:sorted") is sorted
+        with pytest.raises(DispatchError):
+            resolve_callable("no-colon")
+        with pytest.raises(ModuleNotFoundError):
+            resolve_callable("definitely_not_a_module_xyz:fn")
+        with pytest.raises(DispatchError):
+            resolve_callable("math:pi")  # not callable
+
+    def test_backoff_jitter_deterministic_and_bounded(self):
+        for task in range(20):
+            for attempt in range(4):
+                value = backoff_jitter(task, attempt)
+                assert value == backoff_jitter(task, attempt)
+                assert 0.0 <= value < 0.5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Coordinator(lease_timeout=0)
+        with pytest.raises(ValueError):
+            Coordinator(max_retries=-1)
+        with pytest.raises(ValueError):
+            Coordinator(backoff=-0.1)
+
+    def test_keys_length_mismatch(self):
+        with Coordinator() as coordinator:
+            with pytest.raises(ValueError):
+                coordinator.run("builtins:sorted", [{"x": 1}], keys=["a", "b"])
+
+    def test_version_mismatch_rejected(self):
+        with Coordinator(lease_timeout=5.0) as coordinator:
+            sock = socket.create_connection(coordinator.address, timeout=10)
+            try:
+                send_message(sock, {"type": "hello", "version": PROTOCOL_VERSION + 1})
+                # The coordinator rejects the connection, sees no worker
+                # remains, and degrades to finishing the task inline.
+                assert coordinator.run("builtins:sorted", [[2, 1]]) == [[1, 2]]
+                reply = recv_message(sock)
+                assert reply["type"] == "reject"
+                assert reply["version"] == PROTOCOL_VERSION
+            finally:
+                sock.close()
+        assert coordinator.stats["inline"] == 1
+
+
+class TestCoordinatorRuns:
+    def test_spawned_workers_compute_all_tasks(self):
+        specs = [{"x": i} for i in range(7)]
+        with Coordinator(lease_timeout=10.0, backoff=0.01) as coordinator:
+            spawned = _spawn_workers(coordinator, 2)
+            try:
+                results = coordinator.run("test_dispatch:_square", specs, spawned=spawned)
+            finally:
+                coordinator.close()
+                _reap(spawned)
+        assert results == [i * i for i in range(7)]
+        assert coordinator.stats["completed"] == 7
+        assert coordinator.stats["retries"] == 0
+
+    def test_dedup_computes_shared_keys_once(self):
+        specs = [{"x": 3}] * 4 + [{"x": 5}]
+        keys = ["k3"] * 4 + ["k5"]
+        # Keys are free-form at the Coordinator level (the store hex rule
+        # applies to store keys only).
+        with Coordinator(lease_timeout=10.0, backoff=0.01) as coordinator:
+            spawned = _spawn_workers(coordinator, 2)
+            try:
+                results = coordinator.run(
+                    "test_dispatch:_square", specs, keys=keys, spawned=spawned
+                )
+            finally:
+                coordinator.close()
+                _reap(spawned)
+        assert results == [9, 9, 9, 9, 25]
+        assert coordinator.stats["completed"] == 5
+        assert coordinator.stats["dedup_hits"] == 3
+        # 5 tasks, 3 deduped: only 2 actual computations happened.
+        assert coordinator.stats["from_workers"] + coordinator.stats["inline"] == 2
+
+    def test_poison_task_quarantined_with_structured_error(self):
+        specs = [{"x": i} for i in range(3)]
+        with Coordinator(lease_timeout=10.0, max_retries=1, backoff=0.01) as coordinator:
+            spawned = _spawn_workers(coordinator, 2)
+            try:
+                with pytest.raises(DispatchError) as excinfo:
+                    coordinator.run("test_dispatch:_poison", specs, spawned=spawned)
+            finally:
+                coordinator.close()
+                _reap(spawned)
+        error = excinfo.value
+        assert error.task_index in (0, 1, 2)
+        assert error.attempts == 2  # initial try + max_retries
+        assert "poison task" in error.reason
+        assert f"dispatch task {error.task_index}" in str(error)
+        assert coordinator.stats["quarantined"] >= 1
+        assert coordinator.stats["failures"] >= 2
+
+    def test_no_workers_finishes_inline(self):
+        specs = [{"x": i} for i in range(4)]
+        with Coordinator(lease_timeout=10.0) as coordinator:
+            results = coordinator.run("test_dispatch:_square", specs, spawned=[])
+        assert results == [0, 1, 4, 9]
+        assert coordinator.stats["inline"] == 4
+        assert coordinator.stats["from_workers"] == 0
+
+    def test_inline_dedup(self):
+        specs = [{"x": 2}, {"x": 2}, {"x": 4}]
+        with Coordinator(lease_timeout=10.0) as coordinator:
+            results = coordinator.run(
+                "test_dispatch:_square", specs, keys=["a", "a", "b"], spawned=[]
+            )
+        assert results == [4, 4, 16]
+        assert coordinator.stats["inline"] == 2
+        assert coordinator.stats["dedup_hits"] == 1
+
+    def test_inline_failure_raises_dispatch_error(self):
+        with Coordinator(lease_timeout=10.0) as coordinator:
+            with pytest.raises(DispatchError) as excinfo:
+                coordinator.run("test_dispatch:_poison", [{"x": 9}], spawned=[])
+        assert excinfo.value.task_index == 0
+        assert "poison task 9" in excinfo.value.reason
+
+    def test_closed_coordinator_rejects_run(self):
+        coordinator = Coordinator()
+        coordinator.close()
+        with pytest.raises(RuntimeError):
+            coordinator.run("builtins:sorted", [])
+
+
+# ---------------------------------------------------------- external worker --
+class TestExternalWorker:
+    def test_cli_worker_attaches_and_computes(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        with Coordinator(lease_timeout=10.0) as coordinator:
+            host, port = coordinator.address
+            process = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "worker",
+                    "--connect", f"{host}:{port}", "--id", "ext0",
+                ],
+                cwd=REPO_ROOT,
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            try:
+                results = coordinator.run("builtins:sorted", [[3, 1, 2], [5, 4]])
+            finally:
+                coordinator.close()
+                try:
+                    process.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(timeout=30)
+        assert results == [[1, 2, 3], [4, 5]]
+        assert coordinator.stats["from_workers"] == 2
+        assert process.returncode == 0
+
+    def test_cli_rejects_malformed_connect(self):
+        from repro.__main__ import main
+
+        assert main(["worker", "--connect", "nonsense"]) == 2
+
+    def test_cli_rejects_invalid_fault_plan(self, tmp_path):
+        from repro.__main__ import main
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text('[{"action": "explode"}]')
+        code = main(
+            ["worker", "--connect", "127.0.0.1:1", "--fault-plan", str(plan_path)]
+        )
+        assert code == 2
+
+
+# ------------------------------------------------------------------- parity --
+@pytest.fixture(scope="module")
+def serial_reports():
+    """Serial-backend reference reports, one per experiment kind (seed 3)."""
+    return {
+        kind: Runner().run(ExperimentConfig.from_dict(make(3)))
+        for kind, make in PAYLOADS.items()
+    }
+
+
+class TestDistributedParity:
+    def test_backend_registered(self):
+        backend_cls = EXECUTION_BACKENDS.get("distributed")
+        assert backend_cls.name == "distributed"
+
+    @pytest.mark.parametrize("kind", sorted(PAYLOADS))
+    def test_distributed_matches_serial(self, kind, serial_reports):
+        report = run_with_execution(
+            PAYLOADS[kind](3),
+            {"backend": "distributed", "workers": 2,
+             "lease_timeout": 15.0, "backoff": 0.01},
+        )
+        assert_reports_identical(
+            serial_reports[kind], report, f"distributed/{kind}"
+        )
+        stats = report.cache["dispatch"]
+        assert stats["completed"] >= 2
+        assert stats["retries"] == 0
+        assert stats["quarantined"] == 0
+
+    def test_single_worker_falls_back_to_serial_walk(self, serial_reports):
+        report = run_with_execution(
+            metaseg_payload(3), {"backend": "distributed", "workers": 1}
+        )
+        assert_reports_identical(serial_reports["metaseg"], report, "workers=1")
+        # Fallback never touches the queue.
+        assert report.cache["dispatch"]["completed"] == 0
+
+    def test_worker_env_guard_suppresses_fanout(self, serial_reports, monkeypatch):
+        from repro.dispatch.worker import WORKER_ENV
+
+        monkeypatch.setenv(WORKER_ENV, "1")
+        report = run_with_execution(
+            metaseg_payload(3), {"backend": "distributed", "workers": 2}
+        )
+        assert_reports_identical(serial_reports["metaseg"], report, "env-guard")
+        assert report.cache["dispatch"]["completed"] == 0

@@ -1,0 +1,173 @@
+"""Deterministic fault-injection suite for the distributed backend.
+
+Every test runs a real experiment through ``backend="distributed"`` with a
+:class:`~repro.dispatch.faults.FaultPlan` injected via the
+``REPRO_DISPATCH_FAULTS`` environment variable, then asserts two things:
+
+1. **bitwise parity** — tables and provenance identical to the serial
+   reference, whatever was killed, hung or delayed;
+2. **exact counters** — ``report.cache["dispatch"]`` matches the plan:
+   faults are keyed on (task, attempt) or lease ordinal, never wall-clock,
+   so each plan produces one predictable set of retry/loss events.
+
+The one counter never asserted is ``duplicates``: whether a hung worker's
+late result arrives before the coordinator closes is a genuine race (it
+usually dies on a broken pipe), and the contract only requires that late
+results are *ignored*, not that they are observed.
+
+Select with ``-m faults``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.config import ExperimentConfig
+from repro.api.runner import Runner
+from repro.dispatch import FAULTS_ENV, FaultPlan
+
+from test_dispatch import PAYLOADS, assert_reports_identical, run_with_execution
+
+pytestmark = pytest.mark.faults
+
+#: Shards per kind at workers=2 for the tiny payloads (metaseg reference).
+N_SHARDS = 2
+
+#: Short lease so hang faults expire quickly; heartbeats renew it for
+#: healthy-but-slow (delay) tasks, so only true wedges pay it.
+LEASE_TIMEOUT = 0.45
+
+
+@pytest.fixture(scope="module")
+def serial_reports():
+    """Serial-backend reference reports, one per experiment kind (seed 3)."""
+    return {
+        kind: Runner().run(ExperimentConfig.from_dict(make(3)))
+        for kind, make in PAYLOADS.items()
+    }
+
+
+def run_faulted(monkeypatch, plan, kind="metaseg", lease_timeout=15.0):
+    """One distributed run under ``plan``; (report, dispatch counters)."""
+    monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+    report = run_with_execution(
+        PAYLOADS[kind](3),
+        {"backend": "distributed", "workers": 2,
+         "lease_timeout": lease_timeout, "backoff": 0.01},
+    )
+    return report, report.cache["dispatch"]
+
+
+class TestDeterministicPlans:
+    def test_kill_one_worker(self, serial_reports, monkeypatch):
+        plan = FaultPlan([{"task": 0, "attempt": 0, "action": "kill"}])
+        report, stats = run_faulted(monkeypatch, plan)
+        assert_reports_identical(serial_reports["metaseg"], report, "kill-one")
+        assert stats["worker_lost"] == 1
+        assert stats["retries"] == 1
+        assert stats["lease_expired"] == 0
+        assert stats["failures"] == 0
+        assert stats["quarantined"] == 0
+        assert stats["completed"] == N_SHARDS
+        assert stats["from_workers"] == N_SHARDS
+        assert stats["inline"] == 0
+
+    def test_all_workers_die_finishes_inline(self, serial_reports, monkeypatch):
+        # Task-less entries match each worker's first lease: both workers
+        # die on whatever they pick up first, and the coordinator must
+        # degrade to computing everything inline — with the serial result.
+        plan = FaultPlan([{"attempt": 0, "action": "kill"}])
+        report, stats = run_faulted(monkeypatch, plan)
+        assert_reports_identical(serial_reports["metaseg"], report, "all-die")
+        assert stats["worker_lost"] == 2
+        assert stats["retries"] == 2
+        assert stats["quarantined"] == 0
+        assert stats["completed"] == N_SHARDS
+        assert stats["from_workers"] == 0
+        assert stats["inline"] == N_SHARDS
+
+    def test_hang_expires_lease_and_requeues(self, serial_reports, monkeypatch):
+        # The hang sleeps without heartbeats, so the 0.45s lease genuinely
+        # expires and the task is recomputed elsewhere; the hung worker's
+        # eventual late result must be ignored, not double-counted.
+        plan = FaultPlan(
+            [{"task": 0, "attempt": 0, "action": "hang", "seconds": 2.2}]
+        )
+        report, stats = run_faulted(monkeypatch, plan, lease_timeout=LEASE_TIMEOUT)
+        assert_reports_identical(serial_reports["metaseg"], report, "hang")
+        assert stats["lease_expired"] == 1
+        assert stats["retries"] == 1
+        assert stats["worker_lost"] == 0
+        assert stats["failures"] == 0
+        assert stats["quarantined"] == 0
+        assert stats["completed"] == N_SHARDS
+
+    def test_delay_with_heartbeats_is_benign(self, serial_reports, monkeypatch):
+        # Control case: the delay (1s) exceeds the lease timeout (0.45s)
+        # but heartbeats keep renewing the lease — slow-but-healthy workers
+        # must never be treated as failed.
+        plan = FaultPlan(
+            [{"task": 0, "attempt": 0, "action": "delay", "seconds": 1.0}]
+        )
+        report, stats = run_faulted(monkeypatch, plan, lease_timeout=LEASE_TIMEOUT)
+        assert_reports_identical(serial_reports["metaseg"], report, "delay")
+        assert stats["lease_expired"] == 0
+        assert stats["retries"] == 0
+        assert stats["worker_lost"] == 0
+        assert stats["failures"] == 0
+        assert stats["quarantined"] == 0
+        assert stats["completed"] == N_SHARDS
+        assert stats["from_workers"] == N_SHARDS
+
+    def test_kill_then_hang_same_task(self, serial_reports, monkeypatch):
+        # Layered faults on one task: killed on the first attempt, hung on
+        # the retry, completed on the third — two retries, zero losses.
+        plan = FaultPlan([
+            {"task": 0, "attempt": 0, "action": "kill"},
+            {"task": 0, "attempt": 1, "action": "hang", "seconds": 2.2},
+        ])
+        report, stats = run_faulted(monkeypatch, plan, lease_timeout=LEASE_TIMEOUT)
+        assert_reports_identical(serial_reports["metaseg"], report, "kill+hang")
+        assert stats["worker_lost"] == 1
+        assert stats["lease_expired"] == 1
+        assert stats["retries"] == 2
+        assert stats["quarantined"] == 0
+        assert stats["completed"] == N_SHARDS
+
+
+class TestFuzzSweep:
+    """Seeded random plans across every experiment kind.
+
+    Counters are plan-dependent here, so the assertions are the structural
+    invariants: the run terminates, nothing is quarantined (every generated
+    fault is survivable within the retry budget), every requeue is accounted
+    for by exactly one failure event, and the result is bitwise serial.
+    """
+
+    @pytest.mark.parametrize("kind", sorted(PAYLOADS))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_generated_plan_keeps_parity(
+        self, kind, seed, serial_reports, monkeypatch
+    ):
+        plan = FaultPlan.generate(
+            seed, n_tasks=N_SHARDS, n_workers=2,
+            hang_seconds=1.5, delay_seconds=0.05,
+        )
+        report, stats = run_faulted(
+            monkeypatch, plan, kind=kind, lease_timeout=LEASE_TIMEOUT
+        )
+        assert_reports_identical(
+            serial_reports[kind], report, f"fuzz/{kind}/seed{seed}: {plan!r}"
+        )
+        assert stats["quarantined"] == 0
+        assert stats["completed"] >= N_SHARDS
+        assert (
+            stats["retries"]
+            == stats["worker_lost"] + stats["lease_expired"] + stats["failures"]
+        ), f"unaccounted requeue under {plan!r}: {stats}"
+
+    def test_generate_is_deterministic(self):
+        left = FaultPlan.generate(7, n_tasks=4, n_workers=3)
+        right = FaultPlan.generate(7, n_tasks=4, n_workers=3)
+        assert left.to_json() == right.to_json()
+        assert FaultPlan.from_json(left.to_json()).entries == left.entries

@@ -416,3 +416,218 @@ def _wait_until(predicate, timeout: float = 30.0, interval: float = 0.01) -> Non
             return
         time.sleep(interval)
     raise AssertionError("condition not reached before timeout")
+
+
+class TestClientRetries:
+    """The opt-in 503 retry loop and timeout defaults of repro.serve.client."""
+
+    def _http_error(self, code: int, retry_after=None) -> urllib.error.HTTPError:
+        import email.message
+        import io
+
+        headers = email.message.Message()
+        if retry_after is not None:
+            headers["Retry-After"] = retry_after
+        return urllib.error.HTTPError(
+            "http://x/healthz", code, "busy", headers, io.BytesIO(b"{}")
+        )
+
+    def _stub_transport(self, monkeypatch, outcomes):
+        """urlopen returns/raises scripted outcomes; sleeps are recorded."""
+        from repro.serve import client as client_module
+
+        calls = []
+        sleeps = []
+
+        class _Response:
+            def __init__(self, payload):
+                self._payload = payload
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def read(self):
+                return json.dumps(self._payload).encode("utf-8")
+
+        def fake_urlopen(request, timeout=None):
+            calls.append({"url": request.full_url, "timeout": timeout})
+            outcome = outcomes[min(len(calls) - 1, len(outcomes) - 1)]
+            if isinstance(outcome, Exception):
+                raise outcome
+            return _Response(outcome)
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        monkeypatch.setattr(client_module.time, "sleep", sleeps.append)
+        return calls, sleeps
+
+    def test_retries_503_honouring_retry_after(self, monkeypatch):
+        from repro.serve.client import RETRY_BACKOFF_BASE, health
+
+        calls, sleeps = self._stub_transport(
+            monkeypatch,
+            [
+                self._http_error(503, retry_after="0.01"),
+                self._http_error(503),  # no header: exponential backoff
+                {"status": "ok"},
+            ],
+        )
+        assert health("http://x", retries=2) == {"status": "ok"}
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+        # First delay follows the server's Retry-After hint (+<50% jitter)...
+        assert 0.01 <= sleeps[0] < 0.015
+        # ...second falls back to base * 2**attempt.
+        expected = RETRY_BACKOFF_BASE * 2
+        assert expected <= sleeps[1] < expected * 1.5
+
+    def test_no_retry_by_default(self, monkeypatch):
+        from repro.serve.client import health
+
+        calls, sleeps = self._stub_transport(monkeypatch, [self._http_error(503)])
+        with pytest.raises(urllib.error.HTTPError):
+            health("http://x")
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_non_503_statuses_never_retry(self, monkeypatch):
+        from repro.serve.client import health
+
+        calls, sleeps = self._stub_transport(monkeypatch, [self._http_error(500)])
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            health("http://x", retries=5)
+        assert excinfo.value.code == 500
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_exhausted_retries_raise_the_final_503(self, monkeypatch):
+        from repro.serve.client import score_frame
+
+        calls, sleeps = self._stub_transport(
+            monkeypatch, [self._http_error(503, retry_after="0.01")]
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            score_frame("http://x", np.ones((4, 4, 8)), retries=2)
+        assert excinfo.value.code == 503
+        assert len(calls) == 3  # initial try + 2 retries
+        assert len(sleeps) == 2
+
+    def test_torn_connection_is_retried(self, monkeypatch):
+        """A server rejecting at accept time closes the socket while the
+        body is in flight — the client sees URLError(EPIPE), not a 503."""
+        from repro.serve.client import health
+
+        calls, sleeps = self._stub_transport(
+            monkeypatch,
+            [
+                urllib.error.URLError(BrokenPipeError(32, "Broken pipe")),
+                urllib.error.URLError(ConnectionResetError(104, "reset")),
+                {"status": "ok"},
+            ],
+        )
+        assert health("http://x", retries=2) == {"status": "ok"}
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+
+    def test_torn_connection_not_retried_by_default(self, monkeypatch):
+        from repro.serve.client import health
+
+        calls, sleeps = self._stub_transport(
+            monkeypatch, [urllib.error.URLError(BrokenPipeError(32, "Broken pipe"))]
+        )
+        with pytest.raises(urllib.error.URLError):
+            health("http://x")
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_other_urlerrors_never_retry(self, monkeypatch):
+        from repro.serve.client import health
+
+        calls, sleeps = self._stub_transport(
+            monkeypatch, [urllib.error.URLError(ConnectionRefusedError(111, "refused"))]
+        )
+        with pytest.raises(urllib.error.URLError):
+            health("http://x", retries=5)
+        assert len(calls) == 1
+        assert sleeps == []
+
+    def test_timeout_none_is_normalised_to_default(self, monkeypatch):
+        from repro.serve.client import DEFAULT_TIMEOUT, health
+
+        calls, _ = self._stub_transport(monkeypatch, [{"status": "ok"}])
+        health("http://x", timeout=None)
+        assert calls[0]["timeout"] == DEFAULT_TIMEOUT
+
+    def test_retry_delay_is_capped_and_jittered(self):
+        from repro.serve.client import (
+            RETRY_BACKOFF_BASE,
+            RETRY_BACKOFF_CAP,
+            _retry_delay,
+        )
+
+        # A huge server hint is capped (then jittered up to +50%).
+        assert RETRY_BACKOFF_CAP <= _retry_delay(0, "9999") < RETRY_BACKOFF_CAP * 1.5
+        # Garbage and negative hints fall back to exponential backoff.
+        for bad in ("soon", "-3"):
+            expected = RETRY_BACKOFF_BASE
+            assert expected <= _retry_delay(0, bad) < expected * 1.5
+        expected = RETRY_BACKOFF_BASE * 4
+        assert expected <= _retry_delay(2, None) < expected * 1.5
+
+    def test_retry_against_live_backpressured_server(self, fitted_model, val_frames):
+        """End to end: a saturated depth-1 queue 503s, then the retrying
+        client succeeds once the worker drains."""
+        gate = threading.Event()
+        entered = threading.Event()
+        service = ScoringService(fitted_model)
+        original = service.score_frames
+
+        def blocking_score_frames(frames):
+            entered.set()
+            gate.wait(timeout=60)
+            return original(frames)
+
+        service.score_frames = blocking_score_frames
+        server = ScoringServer(service, port=0, workers=1, queue_depth=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        image_id, probs = val_frames[0]
+        blockers = []
+
+        def start_blocker() -> None:
+            blocker = threading.Thread(
+                target=score_frame, args=(server.url, probs),
+                kwargs={"image_id": image_id}, daemon=True,
+            )
+            blocker.start()
+            blockers.append(blocker)
+
+        try:
+            wait_until_ready(server.url)
+            # Sequence the saturating requests: the first must reach the
+            # worker before the second is sent, or the second races the
+            # depth-1 queue slot and gets bounced with a raw 503 (closing
+            # the socket mid-body — a broken pipe in the blocker thread).
+            start_blocker()
+            assert entered.wait(timeout=30)
+            start_blocker()
+            _wait_until(lambda: server._queue.qsize() == 1)
+            releaser = threading.Timer(0.3, gate.set)
+            releaser.start()
+            try:
+                scored = score_frame(
+                    server.url, probs, image_id=image_id, retries=8
+                )
+            finally:
+                releaser.cancel()
+                gate.set()
+            assert scored["image_id"] == image_id
+        finally:
+            gate.set()
+            for blocker in blockers:
+                blocker.join(timeout=60)
+            server.shutdown()
+            server.close()
+            thread.join(timeout=5)

@@ -12,6 +12,7 @@ import copy
 import itertools
 import json
 import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -612,3 +613,240 @@ class TestShardCache:
         assert swept.cache["shards"] == {"hits": 1, "misses": 1}
         fresh = Runner().run(self._process_config(classification_penalty=3.0))
         assert swept.to_json() == fresh.to_json()
+
+
+# ------------------------------------------------- get/evict race (TOCTOU)
+
+
+class TestTouchEvictRace:
+    """get() must not resurrect an entry a concurrent evict just removed.
+
+    Regression tests for the TOCTOU between get()'s payload read and the
+    last-access stamp: _touch() used to rewrite the sidecar unconditionally,
+    so an evict/prune landing in that window left a ghost sidecar with no
+    payload behind it — visible to entries(), un-evictable, and counted by
+    stats() forever.
+    """
+
+    def _entry(self, store):
+        key = report_key({"race": "touch-evict"})
+        store.put(key, {"rows": list(range(8))})
+        return key
+
+    def test_evict_between_read_and_touch_leaves_no_ghost(self, tmp_path):
+        import threading
+
+        touch_entered = threading.Event()
+        evict_done = threading.Event()
+
+        class HookedStore(ResultStore):
+            def _touch(self, key, meta):
+                touch_entered.set()
+                assert evict_done.wait(10.0), "evictor thread never ran"
+                super()._touch(key, meta)
+
+        store = HookedStore(tmp_path)
+        key = self._entry(store)
+
+        def evictor():
+            touch_entered.wait(10.0)
+            assert ResultStore(tmp_path).evict(key) is True
+            evict_done.set()
+
+        thread = threading.Thread(target=evictor)
+        thread.start()
+        try:
+            # The reader still gets its value (payload was read before the
+            # race) — the eviction must win the *index*, not the response.
+            assert store.get(key) == {"rows": list(range(8))}
+        finally:
+            thread.join(timeout=10.0)
+        assert key not in store
+        assert store.entries() == []
+        assert store.get(key) is None
+        assert store.stats()["n_entries"] == 0
+
+    def test_evict_between_exists_check_and_write_is_undone(
+        self, tmp_path, monkeypatch
+    ):
+        """The narrower window: evict lands after _touch's payload check."""
+        from repro.store import store as store_module
+
+        store = ResultStore(tmp_path)
+        key = self._entry(store)
+        real_write = store_module._atomic_write_bytes
+        sidecar = store._meta_path(key)
+
+        def racing_write(path, data):
+            if path == sidecar:
+                ResultStore(tmp_path).evict(key)
+            return real_write(path, data)
+
+        monkeypatch.setattr(store_module, "_atomic_write_bytes", racing_write)
+        assert store.get(key) == {"rows": list(range(8))}
+        monkeypatch.undo()
+        assert store.entries() == []
+        assert key not in store
+
+
+# ---------------------------------------------------- single-flight locking
+
+
+class TestSingleFlight:
+    def test_n_concurrent_callers_one_compute(self, tmp_path):
+        import threading
+
+        store = ResultStore(tmp_path)
+        key = report_key({"singleflight": "threads"})
+        calls = []
+        calls_lock = threading.Lock()
+
+        def compute():
+            with calls_lock:
+                calls.append(1)
+            time.sleep(0.3)  # hold the lock long enough for all waiters
+            return {"value": 42}
+
+        results = [None] * 8
+        def call(slot):
+            results[slot] = store.get_or_compute(key, compute, timeout=30.0)
+
+        threads = [
+            threading.Thread(target=call, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert results == [{"value": 42}] * 8
+        assert len(calls) == 1, f"expected one compute, got {len(calls)}"
+        assert store.get(key) == {"value": 42}
+        assert not store._lock_path(key).exists()
+
+    def test_stale_lock_of_dead_producer_is_broken(self, tmp_path):
+        import multiprocessing
+
+        # A real pid that no longer exists: a child that already exited.
+        child = multiprocessing.get_context("fork").Process(target=lambda: None)
+        child.start()
+        child.join(timeout=10.0)
+        store = ResultStore(tmp_path)
+        key = report_key({"singleflight": "stale"})
+        lock_path = store._lock_path(key)
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path.write_text(json.dumps({"pid": child.pid, "created_unix": 0}))
+        assert store.try_claim(key) is True  # broke the dead claim
+        assert store.release(key) is True
+
+    def test_live_lock_blocks_claim_and_times_out_waiters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = report_key({"singleflight": "live"})
+        assert store.try_claim(key) is True
+        try:
+            assert store.try_claim(key) is False  # our own live claim holds
+            assert store.wait_for(key, timeout=0.3, poll=0.02) is None
+        finally:
+            assert store.release(key) is True
+        assert store.release(key) is False  # idempotent
+
+    def test_waiter_rescues_when_producer_never_publishes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = report_key({"singleflight": "rescue"})
+        assert store.try_claim(key) is True  # a producer that never publishes
+        try:
+            value = store.get_or_compute(
+                key, lambda: {"rescued": True}, timeout=0.3
+            )
+        finally:
+            store.release(key)
+        assert value == {"rescued": True}
+        assert store.get(key) == {"rescued": True}
+
+    def test_publish_then_release_is_seen_by_waiters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = report_key({"singleflight": "published"})
+        assert store.try_claim(key) is True
+        store.put(key, {"done": 1})
+        store.release(key)
+        assert store.wait_for(key, timeout=5.0) == {"done": 1}
+        # And get_or_compute never calls compute for a published key.
+        sentinel = []
+        value = store.get_or_compute(
+            key, lambda: sentinel.append(1) or {"recomputed": True}
+        )
+        assert value == {"done": 1}
+        assert sentinel == []
+
+    def test_failed_compute_releases_the_lock(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = report_key({"singleflight": "failure"})
+        with pytest.raises(RuntimeError, match="compute exploded"):
+            store.get_or_compute(
+                key, lambda: (_ for _ in ()).throw(RuntimeError("compute exploded"))
+            )
+        # The claim was released on the way out: the key is retryable.
+        assert store.try_claim(key) is True
+        store.release(key)
+        assert store.get_or_compute(key, lambda: {"ok": 1}) == {"ok": 1}
+
+    def test_plain_miss_never_evicts(self, tmp_path, monkeypatch):
+        """A missing-entry miss must not call evict: a get that read the
+        pre-publish state would otherwise destroy a concurrent put's fresh
+        entry (the sidecar is the commit marker — nothing to clean up)."""
+        store = ResultStore(tmp_path)
+        key = report_key({"singleflight": "plain-miss"})
+        evictions = []
+        monkeypatch.setattr(
+            store, "evict", lambda k: evictions.append(k) or True
+        )
+        assert store.get(key) is None
+        assert evictions == []
+        # Corrupt *committed* entries still self-heal through eviction.
+        store.put(key, {"value": 1})
+        store._payload_path(key).write_bytes(b"garbage")
+        assert store.get(key) is None
+        assert evictions == [key]
+
+    def test_instant_compute_hammering_one_compute_per_round(self, tmp_path):
+        """Single-flight with an instant compute: the put lands inside the
+        tiny window between a racer's first miss and its claim, which used
+        to let the miss path evict the freshly published entry and force a
+        second compute.  Many short rounds make that window hot."""
+        import threading
+
+        store = ResultStore(tmp_path)
+        for round_index in range(20):
+            key = report_key({"singleflight": "instant", "round": round_index})
+            calls = []
+            calls_lock = threading.Lock()
+
+            def compute():
+                with calls_lock:
+                    calls.append(1)
+                return {"round": round_index}
+
+            results = [None] * 4
+            def call(slot):
+                results[slot] = store.get_or_compute(key, compute, timeout=30.0)
+
+            threads = [
+                threading.Thread(target=call, args=(slot,)) for slot in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert results == [{"round": round_index}] * 4
+            assert len(calls) == 1, (
+                f"round {round_index}: expected one compute, got {len(calls)}"
+            )
+
+    def test_clear_removes_lock_residue(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = report_key({"singleflight": "clear"})
+        store.put(key, {"x": 1})
+        assert store.try_claim(report_key({"singleflight": "other"})) is True
+        assert store.clear() == 1
+        assert not (tmp_path / "locks").exists()
+        assert store.try_claim(key) is True
+        store.release(key)

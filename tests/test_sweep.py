@@ -285,3 +285,47 @@ class TestSweepCli:
         assert f"evicted {n_entries} cache entries" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
         assert "entries: 0" in capsys.readouterr().out
+
+
+# ------------------------------------------------------- distributed sweeps
+
+
+class TestDistributedSweep:
+    def test_point_fanout_matches_serial_bitwise(self, tmp_path):
+        serial = run_sweep(tiny_sweep(), no_cache=True)
+        distributed = run_sweep(
+            tiny_sweep(), store=ResultStore(tmp_path),
+            backend="distributed", workers=2,
+        )
+        assert len(distributed.points) == 2
+        for serial_point, dist_point in zip(serial.points, distributed.points):
+            assert serial_point.report.tables == dist_point.report.tables
+            assert (
+                serial_point.report.provenance == dist_point.report.provenance
+            )
+            config_echo = dist_point.report.config["execution"]
+            assert config_echo["backend"] == "distributed"
+            assert config_echo["workers"] == 2
+        # The diffs-vs-baseline machinery works on worker-shipped reports.
+        label = distributed.points[1].point.label
+        assert any(
+            e["path"] == "config.seed" for e in distributed.diffs()[label]
+        )
+
+    def test_workers_publish_to_the_shared_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = run_sweep(tiny_sweep(), store=store, backend="distributed", workers=2)
+        assert cold.cache_hits == 0
+        assert store.stats()["n_entries"] > 0
+        warm = run_sweep(tiny_sweep(), store=store, backend="distributed", workers=2)
+        assert warm.cache_hits == 2
+        for cold_point, warm_point in zip(cold.points, warm.points):
+            assert cold_point.report.tables == warm_point.report.tables
+
+    def test_distributed_without_cache(self):
+        result = run_sweep(
+            tiny_sweep(), no_cache=True, backend="distributed", workers=2
+        )
+        assert result.store_root is None
+        assert len(result.points) == 2
+        assert result.points[0].report.tables
